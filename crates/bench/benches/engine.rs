@@ -1,0 +1,52 @@
+//! Simulator-throughput benchmarks: how fast the cache-level engine
+//! processes batches under each discipline. This bounds the wall-clock
+//! cost of the Figure 5-7 sweeps (one simulated second at 10,000 msg/s is
+//! ~20 M cache-line lookups).
+
+use cachesim::MachineConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldlp::synth::{paper_stack, MessagePool};
+use ldlp::{BatchPolicy, Discipline, SimMessage, StackEngine};
+use std::hint::black_box;
+
+fn batch(pool: &mut MessagePool, n: usize) -> Vec<SimMessage> {
+    (0..n).map(|i| pool.make_message(i as u64, 552)).collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for (name, discipline) in [
+        ("conventional", Discipline::Conventional),
+        ("ilp", Discipline::Ilp),
+        ("ldlp", Discipline::Ldlp(BatchPolicy::DCacheFit)),
+    ] {
+        group.throughput(Throughput::Elements(14));
+        group.bench_with_input(
+            BenchmarkId::new(name, "batch14"),
+            &discipline,
+            |b, &d| {
+                let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 1);
+                let mut engine = StackEngine::new(m, layers, d);
+                let mut pool = MessagePool::new(16, 1536, 1);
+                let msgs = batch(&mut pool, 14);
+                b.iter(|| black_box(engine.process_batch(black_box(&msgs))))
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("cachesim/line_access_hit", |b| {
+        let mut cache = cachesim::Cache::new(cachesim::CacheConfig::direct_mapped(8192, 32));
+        cache.access_line(5, cachesim::AccessKind::Read);
+        b.iter(|| black_box(cache.access_line(black_box(5), cachesim::AccessKind::Read)))
+    });
+
+    c.bench_function("cachesim/code_region_sweep_6KB", |b| {
+        let mut m = cachesim::Machine::new(MachineConfig::synthetic_benchmark());
+        let region = cachesim::Region::new(0x1000, 6144);
+        b.iter(|| black_box(m.fetch_code(black_box(region))))
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

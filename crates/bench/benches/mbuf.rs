@@ -1,0 +1,62 @@
+//! Mbuf-system microbenchmarks: the buffer operations the paper calls out
+//! ("a buffer layer can easily grow in complexity to swamp the protocol
+//! itself") — header prepend/strip, concatenation, and pullup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netstack::mbuf::{Mbuf, MbufChain};
+use std::hint::black_box;
+
+fn bench_mbuf(c: &mut Criterion) {
+    c.bench_function("mbuf/header_strip_prepend_cycle", |b| {
+        // The per-layer hot path: strip a 20-byte header on receive,
+        // prepend one on transmit.
+        let mut m = Mbuf::from_slice(&[0u8; 552]);
+        b.iter(|| {
+            m.strip(20).unwrap();
+            m.prepend(20).unwrap()[0] = 0x45;
+            black_box(m.len())
+        })
+    });
+
+    c.bench_function("mbuf/chain_concat", |b| {
+        b.iter(|| {
+            let mut head = MbufChain::from_slice(&[1u8; 128]);
+            head.concat(MbufChain::from_slice(&[2u8; 424]));
+            black_box(head.len())
+        })
+    });
+
+    c.bench_function("mbuf/pullup_fast_path", |b| {
+        let mut chain = MbufChain::from_slice(&[0u8; 552]);
+        b.iter(|| black_box(chain.pullup(40).unwrap().len()))
+    });
+
+    c.bench_function("mbuf/pullup_gather", |b| {
+        b.iter_batched(
+            || {
+                let mut c = MbufChain::from_slice(&[1u8; 8]);
+                c.concat(MbufChain::from_slice(&[2u8; 8]));
+                c.concat(MbufChain::from_slice(&[3u8; 536]));
+                c
+            },
+            |mut c| {
+                black_box(c.pullup(40).unwrap().len());
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("mbuf/read_into_app_buffer", |b| {
+        b.iter_batched(
+            || MbufChain::from_slice(&[7u8; 552]),
+            |mut c| {
+                let mut dst = [0u8; 552];
+                black_box(c.read_into(&mut dst))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_mbuf);
+criterion_main!(benches);

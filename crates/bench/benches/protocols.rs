@@ -1,0 +1,137 @@
+//! Microbenchmarks of the protocol substrates added beyond the TCP stack:
+//! the Q.93B, DNS and NFS-RPC codecs (per-message fixed costs — the
+//! paper's whole subject), IP fragmentation/reassembly, the TCP
+//! out-of-order assembler, and the functional layer-graph runtime's
+//! scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    // Q.93B SETUP.
+    let setup = signaling::wire::sample_setup(7);
+    let setup_bytes = setup.encode();
+    c.bench_function("codec/q93b_setup_roundtrip", |b| {
+        b.iter(|| {
+            let m = signaling::wire::Message::decode(black_box(&setup_bytes)).unwrap();
+            black_box(m.encode())
+        })
+    });
+
+    // DNS query + server answer.
+    let query = signaling::dns::DnsMessage::query(3, "cache.locality.example").encode();
+    c.bench_function("codec/dns_server_handle", |b| {
+        let mut server = signaling::dns::DnsServer::new();
+        server.add_record(
+            "cache.locality.example",
+            netstack::wire::ipv4::Ipv4Addr::new(10, 0, 0, 5),
+        );
+        b.iter(|| black_box(server.handle(black_box(&query))))
+    });
+
+    // NFS-RPC LOOKUP.
+    use signaling::rpc::{AttrServer, Procedure, RpcMessage, ROOT_HANDLE};
+    let mut attr = AttrServer::new();
+    attr.add_file(ROOT_HANDLE, b"fattr", 1024);
+    let call = RpcMessage::Call {
+        xid: 5,
+        proc: Procedure::Lookup,
+        handle: ROOT_HANDLE,
+        name: b"fattr".to_vec(),
+    }
+    .encode();
+    c.bench_function("codec/rpc_lookup_handle", |b| {
+        b.iter(|| black_box(attr.handle(black_box(&call))))
+    });
+}
+
+fn bench_ipfrag(c: &mut Criterion) {
+    use netstack::ipfrag::{fragment, parse_fragment, Reassembler};
+    use netstack::wire::ipv4::{Ipv4Addr, Ipv4Repr, Protocol};
+    let repr = Ipv4Repr {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        protocol: Protocol::Udp,
+        ttl: 64,
+        ident: 1,
+        dont_frag: false,
+        payload_len: 4000,
+    };
+    let payload = vec![0x5au8; 4000];
+    c.bench_function("ipfrag/fragment_4KB_into_1500", |b| {
+        b.iter(|| black_box(fragment(black_box(&repr), black_box(&payload), 1500).unwrap()))
+    });
+    let frags = fragment(&repr, &payload, 1500).unwrap();
+    c.bench_function("ipfrag/reassemble_4KB", |b| {
+        b.iter(|| {
+            let mut re = Reassembler::new();
+            let mut done = None;
+            for f in &frags {
+                let (r, field, data) = parse_fragment(f).unwrap();
+                done = re.input(&r, field, data, 0);
+            }
+            black_box(done.unwrap().len())
+        })
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    use netstack::tcp::assembler::Assembler;
+    c.bench_function("tcp/assembler_reverse_order_8x536", |b| {
+        let seg = vec![0xa5u8; 536];
+        b.iter(|| {
+            let mut a = Assembler::new(1 << 16);
+            for i in (1..8).rev() {
+                a.insert(i * 536, &seg).unwrap();
+            }
+            // The in-order head arrives; everything cascades out.
+            black_box(a.advance(536).len())
+        })
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    use ldlp::graph::{Emitter, GraphLayer, LayerGraph, Schedule};
+    struct Pass(bool);
+    impl GraphLayer<u64> for Pass {
+        fn name(&self) -> &str {
+            "pass"
+        }
+        fn process(&mut self, m: u64, out: &mut Emitter<u64>) {
+            if self.0 {
+                out.deliver(m);
+            } else {
+                out.up(0, m);
+            }
+        }
+    }
+    for (name, schedule) in [
+        ("conventional", Schedule::Conventional),
+        ("ldlp", Schedule::Ldlp { entry_batch: 14 }),
+    ] {
+        c.bench_function(&format!("graph/{name}_5layers_14msgs"), |b| {
+            b.iter(|| {
+                let mut g = LayerGraph::new(schedule);
+                let mut above = None;
+                for i in (0..5).rev() {
+                    let ports = above.map(|n| vec![n]).unwrap_or_default();
+                    above = Some(g.add_layer(Box::new(Pass(i == 4)), ports));
+                }
+                g.set_entry(above.unwrap());
+                for i in 0..14 {
+                    g.inject(i);
+                }
+                black_box(g.run().len())
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_ipfrag,
+    bench_assembler,
+    bench_graph
+);
+criterion_main!(benches);

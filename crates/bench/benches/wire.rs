@@ -1,0 +1,82 @@
+//! Wire-format microbenchmarks: header parse and emit costs for every
+//! protocol in the stack, plus the signalling codec. These are the
+//! fixed per-message costs that dominate small-message protocols.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netstack::wire::ethernet::{EtherType, EthernetAddr, EthernetRepr};
+use netstack::wire::ipv4::{Ipv4Addr, Ipv4Repr, Protocol};
+use netstack::wire::tcp::{SeqNumber, TcpFlags, TcpRepr};
+use netstack::wire::udp::UdpRepr;
+use std::hint::black_box;
+
+const A: Ipv4Addr = Ipv4Addr([10, 0, 0, 1]);
+const B: Ipv4Addr = Ipv4Addr([10, 0, 0, 2]);
+
+fn bench_wire(c: &mut Criterion) {
+    let eth = EthernetRepr {
+        dst: EthernetAddr([2, 0, 0, 0, 0, 1]),
+        src: EthernetAddr([2, 0, 0, 0, 0, 2]),
+        ethertype: EtherType::Ipv4,
+    };
+    let eth_frame = eth.frame(&[0u8; 552]);
+    c.bench_function("wire/ethernet_parse", |b| {
+        b.iter(|| EthernetRepr::parse(black_box(&eth_frame)).unwrap())
+    });
+
+    let ip = Ipv4Repr {
+        src: A,
+        dst: B,
+        protocol: Protocol::Tcp,
+        ttl: 64,
+        ident: 7,
+        dont_frag: true,
+        payload_len: 532,
+    };
+    let ip_pkt = ip.packet(&[0u8; 532]);
+    c.bench_function("wire/ipv4_parse_and_verify", |b| {
+        b.iter(|| Ipv4Repr::parse(black_box(&ip_pkt)).unwrap())
+    });
+    c.bench_function("wire/ipv4_emit", |b| {
+        let mut buf = [0u8; 20];
+        b.iter(|| black_box(&ip).emit(black_box(&mut buf)))
+    });
+
+    let tcp = TcpRepr {
+        src_port: 33000,
+        dst_port: 80,
+        seq: SeqNumber(1000),
+        ack: SeqNumber(2000),
+        flags: TcpFlags::ACK,
+        window: 8192,
+        mss: None,
+    };
+    let seg = tcp.segment(A, B, &[0u8; 512]);
+    c.bench_function("wire/tcp_parse_and_verify_512B", |b| {
+        b.iter(|| TcpRepr::parse(black_box(&seg), A, B).unwrap())
+    });
+    c.bench_function("wire/tcp_emit_512B", |b| {
+        let payload = [0u8; 512];
+        b.iter(|| black_box(&tcp).segment(A, B, black_box(&payload)))
+    });
+
+    let udp = UdpRepr {
+        src_port: 5000,
+        dst_port: 53,
+    };
+    let dgram = udp.packet(A, B, &[0u8; 100]);
+    c.bench_function("wire/udp_parse_and_verify", |b| {
+        b.iter(|| UdpRepr::parse(black_box(&dgram), A, B).unwrap())
+    });
+
+    let setup = signaling::wire::sample_setup(42);
+    let setup_bytes = setup.encode();
+    c.bench_function("wire/q93b_setup_decode", |b| {
+        b.iter(|| signaling::wire::Message::decode(black_box(&setup_bytes)).unwrap())
+    });
+    c.bench_function("wire/q93b_setup_encode", |b| {
+        b.iter(|| black_box(&setup).encode())
+    });
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates every table and figure into `results/` by invoking each
+//! experiment binary in sequence. This is the one-shot driver behind
+//! EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1",
+        "figure1",
+        "table3",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure4_regimes",
+        "signaling_goal",
+        "trace_replay",
+        "dynamics",
+        "ablation_cisc",
+        "ablation_dilution",
+        "ablation_policy",
+        "ablation_cachesize",
+        "ablation_transmit",
+        "ablation_tlb",
+        "ablation_layout",
+        "ablation_prefetch",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n=== {bin} ===\n");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments regenerated into results/.");
+}

@@ -1,0 +1,77 @@
+//! Figure 6: latency as a function of arrival rate, Poisson traffic.
+//!
+//! Expected shape (paper): both schedules sit near the single-message
+//! service time (~300 us) at light load; conventional saturates near
+//! 3500 msg/s and its latency climbs toward the 500-packet buffer bound
+//! (~100 ms, with drops); LDLP keeps latency low to ~9500 msg/s because
+//! batching raises throughput and cuts queueing.
+
+use bench::sweep::poisson_sweep;
+use bench::{f, figure5_rates, print_table, write_csv, RunOpts};
+use cachesim::MachineConfig;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!(
+        "Figure 6: latency vs. arrival rate (Poisson, 552-byte messages,\n\
+         {} placements x {}s each, 500-packet buffer)\n",
+        opts.seeds, opts.duration_s
+    );
+    let points = poisson_sweep(&opts, MachineConfig::synthetic_benchmark(), &figure5_rates());
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            f(p.x, 0),
+            f(p.conventional.mean_latency_us, 0),
+            f(p.ldlp.mean_latency_us, 0),
+            f(p.conventional.drops as f64, 0),
+            f(p.ldlp.drops as f64, 0),
+            f(p.conventional.throughput, 0),
+            f(p.ldlp.throughput, 0),
+        ]);
+        csv.push(vec![
+            f(p.x, 0),
+            f(p.conventional.mean_latency_us, 2),
+            f(p.ldlp.mean_latency_us, 2),
+            f(p.conventional.p99_latency_us, 2),
+            f(p.ldlp.p99_latency_us, 2),
+            p.conventional.drops.to_string(),
+            p.ldlp.drops.to_string(),
+            f(p.conventional.throughput, 1),
+            f(p.ldlp.throughput, 1),
+            f(p.conventional.latency_std_us, 2),
+            f(p.ldlp.latency_std_us, 2),
+        ]);
+    }
+    print_table(
+        &[
+            "rate(msg/s)",
+            "conv lat(us)",
+            "LDLP lat(us)",
+            "conv drops",
+            "LDLP drops",
+            "conv tput",
+            "LDLP tput",
+        ],
+        &rows,
+    );
+    write_csv(
+        &opts.out_dir.join("figure6.csv"),
+        &[
+            "rate",
+            "conv_latency_us",
+            "ldlp_latency_us",
+            "conv_p99_us",
+            "ldlp_p99_us",
+            "conv_drops",
+            "ldlp_drops",
+            "conv_throughput",
+            "ldlp_throughput",
+            "conv_latency_std_us",
+            "ldlp_latency_std_us",
+        ],
+        &csv,
+    );
+}

@@ -1,0 +1,79 @@
+//! Figure 7: latency as a function of CPU clock speed, driven by
+//! self-similar Ethernet-trace-like traffic (the Bellcore October 1989
+//! trace in the paper; a calibrated Pareto ON/OFF aggregate here — see
+//! DESIGN.md's substitution table).
+//!
+//! Expected shape (paper): latency rises as the clock falls; conventional
+//! scheduling collapses below ~40 MHz while LDLP batches to maintain
+//! throughput and degrades gracefully.
+
+use bench::sweep::clock_sweep;
+use bench::{f, figure7_clocks, print_table, write_csv, RunOpts};
+use cachesim::MachineConfig;
+
+fn main() {
+    let mut opts = RunOpts::from_args();
+    // Trace-driven runs need more simulated time than the Poisson sweeps
+    // for the burst structure to matter; default to 5 s if unchanged.
+    if (opts.duration_s - RunOpts::default().duration_s).abs() < f64::EPSILON {
+        opts.duration_s = 5.0;
+    }
+    println!(
+        "Figure 7: latency vs. CPU clock (self-similar trace-like traffic,\n\
+         ~1000 pkt/s offered, {} seeds x {}s each)\n",
+        opts.seeds, opts.duration_s
+    );
+    let points = clock_sweep(
+        &opts,
+        MachineConfig::synthetic_benchmark(),
+        &figure7_clocks(),
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            f(p.x, 0),
+            f(p.conventional.mean_latency_us, 0),
+            f(p.ldlp.mean_latency_us, 0),
+            f(p.conventional.drops as f64, 0),
+            f(p.ldlp.drops as f64, 0),
+            f(p.ldlp.mean_batch, 1),
+        ]);
+        csv.push(vec![
+            f(p.x, 0),
+            f(p.conventional.mean_latency_us, 2),
+            f(p.ldlp.mean_latency_us, 2),
+            p.conventional.drops.to_string(),
+            p.ldlp.drops.to_string(),
+            f(p.ldlp.mean_batch, 3),
+            f(p.conventional.throughput, 1),
+            f(p.ldlp.throughput, 1),
+        ]);
+    }
+    print_table(
+        &[
+            "clock(MHz)",
+            "conv lat(us)",
+            "LDLP lat(us)",
+            "conv drops",
+            "LDLP drops",
+            "LDLP batch",
+        ],
+        &rows,
+    );
+    write_csv(
+        &opts.out_dir.join("figure7.csv"),
+        &[
+            "clock_mhz",
+            "conv_latency_us",
+            "ldlp_latency_us",
+            "conv_drops",
+            "ldlp_drops",
+            "ldlp_batch",
+            "conv_throughput",
+            "ldlp_throughput",
+        ],
+        &csv,
+    );
+}

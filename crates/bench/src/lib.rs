@@ -1,0 +1,289 @@
+//! # bench — experiment harnesses
+//!
+//! One binary per table and figure of the paper (see DESIGN.md's
+//! per-experiment index), plus Criterion microbenchmarks of the real code
+//! paths. Each binary prints the paper's rows/series as an aligned table
+//! and writes a CSV into `results/`.
+//!
+//! Common flags for the simulation figures:
+//!
+//! * `--seeds N` — random placements to average over (paper: 100;
+//!   default here: 20 for a quick regeneration).
+//! * `--duration S` — simulated seconds per (rate, seed) point
+//!   (paper: 1.0; default: 1.0).
+//! * `--out DIR` — output directory (default `results/`).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Common experiment options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Number of seeded random placements to average over.
+    pub seeds: u64,
+    /// Simulated duration per point, seconds.
+    pub duration_s: f64,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            seeds: 20,
+            duration_s: 1.0,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `--seeds`, `--duration`, `--out` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = RunOpts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seeds" => {
+                    opts.seeds = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seeds needs a number"));
+                    i += 2;
+                }
+                "--duration" => {
+                    opts.duration_s = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--duration needs seconds"));
+                    i += 2;
+                }
+                "--out" => {
+                    opts.out_dir = args
+                        .get(i + 1)
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| die("--out needs a directory"));
+                    i += 2;
+                }
+                other => die(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--seeds N] [--duration S] [--out DIR]");
+    std::process::exit(2);
+}
+
+/// Writes a CSV file, creating the directory if needed.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut f = std::fs::File::create(path).expect("create CSV");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Prints an aligned text table.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with `d` decimals.
+pub fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+/// The arrival-rate grid of Figures 5 and 6 (messages/second).
+pub fn figure5_rates() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 500.0).collect()
+}
+
+/// The CPU-clock grid of Figure 7 (MHz).
+pub fn figure7_clocks() -> Vec<f64> {
+    vec![10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0, 60.0, 70.0, 80.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_grids() {
+        let r = figure5_rates();
+        assert_eq!(r.first(), Some(&500.0));
+        assert_eq!(r.last(), Some(&10_000.0));
+        assert_eq!(r.len(), 20);
+        assert_eq!(figure7_clocks().len(), 11);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(10.0, 0), "10");
+    }
+
+    #[test]
+    fn csv_writing() {
+        let dir = std::env::temp_dir().join("bench_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+pub mod sweep {
+    //! Shared sweep runners for the simulation figures.
+
+    use crate::RunOpts;
+    use cachesim::MachineConfig;
+    use ldlp::synth::paper_stack;
+    use ldlp::{BatchPolicy, Discipline, StackEngine};
+    use simnet::stats::SimReport;
+    use simnet::traffic::{Arrival, PoissonSource, SelfSimilarSource, TrafficSource};
+    use simnet::{run_sim, SimConfig};
+
+    /// One rate/clock point: averaged reports for the disciplines.
+    #[derive(Debug, Clone)]
+    pub struct SweepPoint {
+        /// The swept parameter (arrival rate or clock MHz).
+        pub x: f64,
+        pub conventional: SimReport,
+        pub ldlp: SimReport,
+        /// Integrated layer processing — the prior art the paper contrasts
+        /// with: helps data-heavy large messages, not small-message code
+        /// locality. Populated by the Poisson sweep only.
+        pub ilp: Option<SimReport>,
+    }
+
+    /// Runs one (engine-discipline, arrivals) pair on a fresh stack.
+    pub fn run_once(
+        cfg: MachineConfig,
+        discipline: Discipline,
+        placement_seed: u64,
+        arrivals: &[Arrival],
+        duration_s: f64,
+    ) -> SimReport {
+        let (machine, layers) = paper_stack(cfg, placement_seed);
+        let mut engine = StackEngine::new(machine, layers, discipline);
+        let sim_cfg = SimConfig {
+            duration_s,
+            pool_seed: placement_seed,
+            ..SimConfig::default()
+        };
+        run_sim(&mut engine, arrivals, &sim_cfg)
+    }
+
+    /// Figures 5 and 6: Poisson arrivals of 552-byte messages across the
+    /// rate grid, conventional vs. LDLP, averaged over placements.
+    pub fn poisson_sweep(opts: &RunOpts, cfg: MachineConfig, rates: &[f64]) -> Vec<SweepPoint> {
+        rates
+            .iter()
+            .map(|&rate| {
+                let mut conv = Vec::new();
+                let mut ldlp = Vec::new();
+                let mut ilp = Vec::new();
+                for seed in 1..=opts.seeds {
+                    let arrivals =
+                        PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
+                    conv.push(run_once(
+                        cfg,
+                        Discipline::Conventional,
+                        seed,
+                        &arrivals,
+                        opts.duration_s,
+                    ));
+                    ldlp.push(run_once(
+                        cfg,
+                        Discipline::Ldlp(BatchPolicy::DCacheFit),
+                        seed,
+                        &arrivals,
+                        opts.duration_s,
+                    ));
+                    ilp.push(run_once(
+                        cfg,
+                        Discipline::Ilp,
+                        seed,
+                        &arrivals,
+                        opts.duration_s,
+                    ));
+                }
+                SweepPoint {
+                    x: rate,
+                    conventional: SimReport::average(&conv),
+                    ldlp: SimReport::average(&ldlp),
+                    ilp: Some(SimReport::average(&ilp)),
+                }
+            })
+            .collect()
+    }
+
+    /// Figure 7: trace-driven self-similar traffic at a fixed offered
+    /// load, sweeping the CPU clock.
+    pub fn clock_sweep(opts: &RunOpts, base: MachineConfig, clocks: &[f64]) -> Vec<SweepPoint> {
+        clocks
+            .iter()
+            .map(|&mhz| {
+                let cfg = base.with_clock_mhz(mhz);
+                let mut conv = Vec::new();
+                let mut ldlp = Vec::new();
+                for seed in 1..=opts.seeds {
+                    let arrivals =
+                        SelfSimilarSource::bellcore_like(seed).take_until(opts.duration_s);
+                    conv.push(run_once(
+                        cfg,
+                        Discipline::Conventional,
+                        seed,
+                        &arrivals,
+                        opts.duration_s,
+                    ));
+                    ldlp.push(run_once(
+                        cfg,
+                        Discipline::Ldlp(BatchPolicy::DCacheFit),
+                        seed,
+                        &arrivals,
+                        opts.duration_s,
+                    ));
+                }
+                SweepPoint {
+                    x: mhz,
+                    conventional: SimReport::average(&conv),
+                    ldlp: SimReport::average(&ldlp),
+                    ilp: None,
+                }
+            })
+            .collect()
+    }
+}

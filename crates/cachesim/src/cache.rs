@@ -1,0 +1,352 @@
+//! A set-associative cache model with LRU replacement.
+//!
+//! The model tracks only tags (no contents): the simulators care about hit
+//! or miss, never about the data itself. Direct-mapped caches — the paper's
+//! configuration — are the 1-way special case and take a fast path with no
+//! LRU bookkeeping.
+
+use crate::addr::Addr;
+
+/// The kind of memory reference, used for statistics attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (goes to the I-cache on split configurations).
+    InstrFetch,
+    /// Data load.
+    Read,
+    /// Data store (write-allocate).
+    Write,
+}
+
+/// Static geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_size * associativity`.
+    pub size_bytes: u64,
+    /// Line (block) size in bytes. Must be a power of two.
+    pub line_size: u64,
+    /// Number of ways per set; 1 means direct-mapped.
+    pub associativity: u32,
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache of `size_bytes` with `line_size`-byte lines.
+    pub const fn direct_mapped(size_bytes: u64, line_size: u64) -> Self {
+        CacheConfig {
+            size_bytes,
+            line_size,
+            associativity: 1,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub const fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_size * self.associativity as u64)
+    }
+
+    /// Number of lines the cache can hold.
+    pub const fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_size
+    }
+
+    fn validate(&self) {
+        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(self.associativity >= 1, "associativity must be at least 1");
+        assert!(
+            self.size_bytes % (self.line_size * self.associativity as u64) == 0,
+            "cache size must be a multiple of line_size * associativity"
+        );
+        assert!(self.num_sets() >= 1, "cache must have at least one set");
+    }
+}
+
+/// Hit/miss counters, broken down by access kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub read_misses: u64,
+    pub write_misses: u64,
+    pub fetch_misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of accesses that missed; 0 for an untouched cache.
+    pub fn miss_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.fetch_misses += other.fetch_misses;
+    }
+}
+
+/// A tag-only set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[set][way]` holds the line number (`addr / line_size`) cached in
+    /// that way, or `None` for an invalid way. Ways are kept in LRU order:
+    /// index 0 is most recently used.
+    sets: Vec<Vec<Option<u64>>>,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let num_sets = cfg.num_sets();
+        Cache {
+            sets: vec![vec![None; cfg.associativity as usize]; num_sets as usize],
+            stats: CacheStats::default(),
+            line_shift: cfg.line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
+            cfg,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated since construction or the last [`Cache::reset_stats`].
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the hit/miss counters without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates every line (cold cache) without touching the counters.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = None;
+            }
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        if self.set_mask + 1 == self.cfg.num_sets() && (self.set_mask + 1).is_power_of_two() {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.cfg.num_sets()) as usize
+        }
+    }
+
+    /// Touches the single line containing `addr`; returns `true` on hit.
+    ///
+    /// On a miss the line is brought in, evicting the LRU way of its set.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> bool {
+        let line = addr >> self.line_shift;
+        self.access_line(line, kind)
+    }
+
+    /// Touches a line identified by its line number (`addr / line_size`).
+    pub fn access_line(&mut self, line: u64, kind: AccessKind) -> bool {
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+
+        // Fast path for direct-mapped caches: a set is a single way.
+        if set.len() == 1 {
+            let hit = set[0] == Some(line);
+            if hit {
+                self.stats.hits += 1;
+            } else {
+                set[0] = Some(line);
+                self.record_miss(kind);
+            }
+            return hit;
+        }
+
+        if let Some(pos) = set.iter().position(|w| *w == Some(line)) {
+            // Hit: move to MRU position.
+            let way = set.remove(pos);
+            set.insert(0, way);
+            self.stats.hits += 1;
+            true
+        } else {
+            // Miss: evict LRU (last), insert at MRU.
+            set.pop();
+            set.insert(0, Some(line));
+            self.record_miss(kind);
+            false
+        }
+    }
+
+    /// Touches every line overlapping `[addr, addr + size)`; returns the
+    /// number of misses incurred.
+    pub fn access_range(&mut self, addr: Addr, size: u64, kind: AccessKind) -> u64 {
+        if size == 0 {
+            return 0;
+        }
+        let first = addr >> self.line_shift;
+        let last = (addr + size - 1) >> self.line_shift;
+        let mut misses = 0;
+        for line in first..=last {
+            if !self.access_line(line, kind) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Whether the line containing `addr` is currently resident (no
+    /// side effects, no stats update).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &self.sets[self.set_index(line)];
+        set.iter().any(|w| *w == Some(line))
+    }
+
+    fn record_miss(&mut self, kind: AccessKind) {
+        self.stats.misses += 1;
+        match kind {
+            AccessKind::InstrFetch => self.stats.fetch_misses += 1,
+            AccessKind::Read => self.stats.read_misses += 1,
+            AccessKind::Write => self.stats.write_misses += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_8k() -> Cache {
+        Cache::new(CacheConfig::direct_mapped(8192, 32))
+    }
+
+    #[test]
+    fn geometry() {
+        let cfg = CacheConfig::direct_mapped(8192, 32);
+        assert_eq!(cfg.num_sets(), 256);
+        assert_eq!(cfg.num_lines(), 256);
+        let cfg = CacheConfig {
+            size_bytes: 8192,
+            line_size: 32,
+            associativity: 2,
+        };
+        assert_eq!(cfg.num_sets(), 128);
+        assert_eq!(cfg.num_lines(), 256);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = dm_8k();
+        assert!(!c.access(0x1000, AccessKind::Read));
+        assert!(c.access(0x1000, AccessKind::Read));
+        assert!(c.access(0x101f, AccessKind::Read), "same 32-byte line");
+        assert!(!c.access(0x1020, AccessKind::Read), "next line is cold");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = dm_8k();
+        // 0x0 and 0x2000 (8 KB apart) map to the same set in an 8 KB DM cache.
+        assert!(!c.access(0x0, AccessKind::Read));
+        assert!(!c.access(0x2000, AccessKind::Read));
+        assert!(!c.access(0x0, AccessKind::Read), "evicted by the conflict");
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn two_way_avoids_conflict() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 8192,
+            line_size: 32,
+            associativity: 2,
+        });
+        assert!(!c.access(0x0, AccessKind::Read));
+        assert!(!c.access(0x2000, AccessKind::Read));
+        assert!(c.access(0x0, AccessKind::Read), "both fit in a 2-way set");
+        assert!(c.access(0x2000, AccessKind::Read));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_size: 32,
+            associativity: 2,
+        });
+        // Two sets; lines 0, 2, 4 all map to set 0.
+        c.access_line(0, AccessKind::Read);
+        c.access_line(2, AccessKind::Read);
+        c.access_line(0, AccessKind::Read); // make line 0 MRU
+        c.access_line(4, AccessKind::Read); // must evict line 2 (LRU)
+        assert!(c.probe(0 * 32));
+        assert!(!c.probe(2 * 32));
+        assert!(c.probe(4 * 32));
+    }
+
+    #[test]
+    fn access_range_counts_lines() {
+        let mut c = dm_8k();
+        // 100 bytes starting at 10 spans lines 0..=3 (4 lines).
+        assert_eq!(c.access_range(10, 100, AccessKind::Read), 4);
+        assert_eq!(c.access_range(10, 100, AccessKind::Read), 0);
+        assert_eq!(c.access_range(0, 0, AccessKind::Read), 0);
+    }
+
+    #[test]
+    fn flush_makes_cold_but_keeps_stats() {
+        let mut c = dm_8k();
+        c.access(0x40, AccessKind::InstrFetch);
+        c.flush();
+        assert_eq!(c.stats().misses, 1);
+        assert!(!c.access(0x40, AccessKind::InstrFetch));
+        assert_eq!(c.stats().fetch_misses, 2);
+    }
+
+    #[test]
+    fn miss_kind_attribution() {
+        let mut c = dm_8k();
+        c.access(0x00, AccessKind::InstrFetch);
+        c.access(0x40, AccessKind::Read);
+        c.access(0x80, AccessKind::Write);
+        let s = c.stats();
+        assert_eq!(s.fetch_misses, 1);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.misses, 3);
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let c = dm_8k();
+        assert!(!c.probe(0x1234));
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = dm_8k();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.access(0x0, AccessKind::Read);
+        c.access(0x0, AccessKind::Read);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cachesim — machine and primary-cache model
+//!
+//! A small, deterministic, cycle-level model of the memory hierarchy the
+//! paper's experiments depend on: split (or unified) direct-mapped or
+//! set-associative primary caches, a fixed per-miss stall penalty, and a
+//! configurable CPU clock.
+//!
+//! The model is deliberately simple — it is the model of the paper
+//! (Blackwell, SIGCOMM '96, Section 4): every read miss stalls the processor
+//! for a fixed number of cycles; writes are modelled through the same cache
+//! (write-allocate) but can be configured not to stall. There is no
+//! secondary-cache model because the paper folds the whole miss path into a
+//! single penalty.
+//!
+//! Two presets mirror the paper's machines:
+//! * [`MachineConfig::dec3000_400`] — the DEC 3000/400 used for the TCP
+//!   measurements (8 KB direct-mapped I and D caches, 32-byte lines,
+//!   10-cycle miss penalty, 133 MHz — the paper quotes "20 instruction
+//!   slots (10 cycles)" per primary I-miss).
+//! * [`MachineConfig::synthetic_benchmark`] — the configuration of
+//!   Section 4's synthetic benchmark (8 KB direct-mapped I and D caches,
+//!   20-cycle read-miss stall, 100 MHz).
+//!
+//! The address space is a flat `u64` space; all structures operate at
+//! cache-line granularity internally but accept byte addresses and sizes.
+
+pub mod addr;
+pub mod cache;
+pub mod machine;
+pub mod placement;
+pub mod tlb;
+
+pub use addr::{Addr, Region};
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use machine::{CycleCount, Machine, MachineConfig, MachineStats};
+pub use placement::{AddressAllocator, RandomPlacement};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -1,0 +1,631 @@
+//! The machine model: split or unified primary caches plus cycle accounting.
+
+use crate::addr::Region;
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
+use crate::tlb::{Tlb, TlbConfig, TlbStats};
+
+/// Simulated cycle counts.
+pub type CycleCount = u64;
+
+/// Machine parameters: cache geometry, miss penalties and clock rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Instruction-cache geometry (also the unified cache when
+    /// `dcache` is `None`).
+    pub icache: CacheConfig,
+    /// Data-cache geometry; `None` selects a unified cache.
+    pub dcache: Option<CacheConfig>,
+    /// Stall cycles charged per read or instruction-fetch miss.
+    pub read_miss_penalty: CycleCount,
+    /// Stall cycles charged per write miss (0 models a write buffer that
+    /// never fills, the paper's implicit assumption).
+    pub write_miss_penalty: CycleCount,
+    /// CPU clock in MHz, used to convert cycles to wall time.
+    pub clock_mhz: f64,
+    /// Multiplier applied to code footprints to model instruction-set code
+    /// density (1.0 = Alpha baseline; the paper quotes ~0.55 for i386,
+    /// Section 5.2).
+    pub code_density: f64,
+    /// Optional instruction TLB (None = perfect translation, the paper's
+    /// implicit assumption; its traces exclude the PAL refill code).
+    pub itlb: Option<TlbConfig>,
+    /// Optional data TLB.
+    pub dtlb: Option<TlbConfig>,
+    /// Optional unified second-level cache. When present,
+    /// `read_miss_penalty` is the L1-miss-hits-L2 cost and `l2_miss_penalty`
+    /// is charged on top for references that miss L2 too (the DEC 3000/400
+    /// carries a 512 KB board cache; the paper's "10 cycles" is the
+    /// L1-to-L2 fill).
+    pub l2: Option<CacheConfig>,
+    /// Extra stall cycles per L2 miss (memory fill).
+    pub l2_miss_penalty: CycleCount,
+    /// Next-line instruction prefetch: on an I-fetch miss, the following
+    /// line is filled in the background at no stall cost (Section 4 notes
+    /// "some processors can prefetch instructions from the second level
+    /// cache to hide some of the cache miss cost").
+    pub next_line_prefetch: bool,
+}
+
+impl MachineConfig {
+    /// The DEC 3000/400 of Section 2: 8 KB direct-mapped split I/D caches,
+    /// 32-byte lines, 10-cycle primary-miss penalty, 133 MHz Alpha 21064.
+    pub fn dec3000_400() -> Self {
+        MachineConfig {
+            icache: CacheConfig::direct_mapped(8 * 1024, 32),
+            dcache: Some(CacheConfig::direct_mapped(8 * 1024, 32)),
+            read_miss_penalty: 10,
+            write_miss_penalty: 0,
+            clock_mhz: 133.0,
+            code_density: 1.0,
+            itlb: None,
+            dtlb: None,
+            l2: None,
+            l2_miss_penalty: 0,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// The synthetic benchmark machine of Section 4: 8 KB direct-mapped
+    /// split I/D caches, 32-byte lines, 20-cycle read-miss stall, 100 MHz.
+    pub fn synthetic_benchmark() -> Self {
+        MachineConfig {
+            icache: CacheConfig::direct_mapped(8 * 1024, 32),
+            dcache: Some(CacheConfig::direct_mapped(8 * 1024, 32)),
+            read_miss_penalty: 20,
+            write_miss_penalty: 0,
+            clock_mhz: 100.0,
+            code_density: 1.0,
+            itlb: None,
+            dtlb: None,
+            l2: None,
+            l2_miss_penalty: 0,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// An i386-flavoured variant of the synthetic machine: identical caches
+    /// and penalties but denser code (Section 5.2 measures NetBSD
+    /// networking code as 55% smaller on the i386).
+    pub fn i386_like() -> Self {
+        MachineConfig {
+            code_density: 0.45,
+            ..Self::synthetic_benchmark()
+        }
+    }
+
+    /// A hypothetical 1998 processor per Rosenblum's prediction quoted in
+    /// Section 1.2: 64 KB caches but a 60-slot (30-cycle) miss penalty.
+    pub fn rosenblum_1998() -> Self {
+        MachineConfig {
+            icache: CacheConfig::direct_mapped(64 * 1024, 32),
+            dcache: Some(CacheConfig::direct_mapped(64 * 1024, 32)),
+            read_miss_penalty: 30,
+            write_miss_penalty: 0,
+            clock_mhz: 500.0,
+            code_density: 1.0,
+            itlb: None,
+            dtlb: None,
+            l2: None,
+            l2_miss_penalty: 0,
+            next_line_prefetch: false,
+        }
+    }
+
+    /// Returns a copy with next-line instruction prefetch enabled.
+    pub fn with_prefetch(mut self) -> Self {
+        self.next_line_prefetch = true;
+        self
+    }
+
+    /// Returns a copy with the DEC 3000/400's 512 KB direct-mapped board
+    /// cache enabled: L1 misses that hit it cost `read_miss_penalty`;
+    /// misses all the way to memory add 30 more cycles.
+    pub fn with_board_cache(mut self) -> Self {
+        self.l2 = Some(CacheConfig::direct_mapped(512 * 1024, 32));
+        self.l2_miss_penalty = 30;
+        self
+    }
+
+    /// Returns a copy with Alpha-21064-style instruction and data TLBs
+    /// enabled (12-entry ITB, 32-entry DTB, 8 KB pages, 40-cycle PAL
+    /// refill).
+    pub fn with_alpha_tlbs(mut self) -> Self {
+        self.itlb = Some(TlbConfig::alpha_itb());
+        self.dtlb = Some(TlbConfig::alpha_dtb());
+        self
+    }
+
+    /// Returns a copy with a different clock (Figure 7 sweeps this).
+    pub fn with_clock_mhz(mut self, mhz: f64) -> Self {
+        self.clock_mhz = mhz;
+        self
+    }
+
+    /// Returns a copy with a different line size in every cache
+    /// (Table 3 sweeps this).
+    pub fn with_line_size(mut self, line_size: u64) -> Self {
+        self.icache.line_size = line_size;
+        if let Some(d) = &mut self.dcache {
+            d.line_size = line_size;
+        }
+        self
+    }
+
+    /// Cycles per microsecond at this clock.
+    pub fn cycles_per_us(&self) -> f64 {
+        self.clock_mhz
+    }
+}
+
+/// Aggregated statistics for a [`Machine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineStats {
+    /// I-cache (or unified cache) counters.
+    pub icache: CacheStats,
+    /// D-cache counters (zero for unified configurations).
+    pub dcache: CacheStats,
+    /// Cycles spent executing instructions.
+    pub instr_cycles: CycleCount,
+    /// Cycles spent stalled on cache misses.
+    pub stall_cycles: CycleCount,
+    /// Instruction-TLB counters (zero when no ITB is configured).
+    pub itlb: TlbStats,
+    /// Data-TLB counters (zero when no DTB is configured).
+    pub dtlb: TlbStats,
+    /// Second-level cache counters (zero when no L2 is configured).
+    pub l2: CacheStats,
+}
+
+impl MachineStats {
+    /// Total simulated cycles (execution plus stalls).
+    pub fn total_cycles(&self) -> CycleCount {
+        self.instr_cycles + self.stall_cycles
+    }
+
+    /// Total misses across both caches.
+    pub fn total_misses(&self) -> u64 {
+        self.icache.misses + self.dcache.misses
+    }
+}
+
+/// A machine instance: caches plus cycle counters.
+///
+/// The simulators drive it with [`Machine::fetch_code`],
+/// [`Machine::read_data`], [`Machine::write_data`] and
+/// [`Machine::execute`]; it accumulates stall and execution cycles.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    icache: Cache,
+    /// `None` for unified configurations: data accesses then go to `icache`.
+    dcache: Option<Cache>,
+    itlb: Option<Tlb>,
+    dtlb: Option<Tlb>,
+    l2: Option<Cache>,
+    instr_cycles: CycleCount,
+    stall_cycles: CycleCount,
+}
+
+impl Machine {
+    /// Builds a machine with cold caches and zeroed counters.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            icache: Cache::new(cfg.icache),
+            dcache: cfg.dcache.map(Cache::new),
+            itlb: cfg.itlb.map(Tlb::new),
+            dtlb: cfg.dtlb.map(Tlb::new),
+            l2: cfg.l2.map(Cache::new),
+            instr_cycles: 0,
+            stall_cycles: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Charges `n` cycles of instruction execution.
+    pub fn execute(&mut self, n: CycleCount) {
+        self.instr_cycles += n;
+    }
+
+    /// Fetches every line of `region` through the I-cache (and the ITB,
+    /// when configured), charging miss/refill penalties. Returns the
+    /// number of cache misses.
+    pub fn fetch_code(&mut self, region: Region) -> u64 {
+        if let Some(tlb) = &mut self.itlb {
+            let refills = tlb.access_range(region.base, region.len);
+            self.stall_cycles += refills * tlb.config().refill_penalty;
+        }
+        if self.l2.is_some() || self.cfg.next_line_prefetch {
+            // Per-line so L1 misses can fill through the L2 and trigger
+            // next-line prefetches.
+            let mut misses = 0;
+            for line_addr in region.line_addrs(self.cfg.icache.line_size) {
+                let line = line_addr / self.cfg.icache.line_size;
+                if !self.icache.access_line(line, AccessKind::InstrFetch) {
+                    misses += 1;
+                    self.stall_cycles += self.cfg.read_miss_penalty;
+                    self.l2_fill(line, AccessKind::InstrFetch);
+                    if self.cfg.next_line_prefetch {
+                        self.prefetch_line(line + 1);
+                    }
+                }
+            }
+            return misses;
+        }
+        let misses = self
+            .icache
+            .access_range(region.base, region.len, AccessKind::InstrFetch);
+        self.stall_cycles += misses * self.cfg.read_miss_penalty;
+        misses
+    }
+
+    /// Fills an L1 miss through the L2, charging the memory penalty when
+    /// the L2 misses too.
+    fn l2_fill(&mut self, line: u64, kind: AccessKind) {
+        if let Some(l2) = &mut self.l2 {
+            if !l2.access_line(line, kind) {
+                self.stall_cycles += self.cfg.l2_miss_penalty;
+            }
+        }
+    }
+
+    /// Fetches a single I-cache line by line number.
+    pub fn fetch_code_line(&mut self, line: u64) -> bool {
+        if let Some(tlb) = &mut self.itlb {
+            let line_size = self.cfg.icache.line_size;
+            if !tlb.access(line * line_size) {
+                self.stall_cycles += tlb.config().refill_penalty;
+            }
+        }
+        let hit = self.icache.access_line(line, AccessKind::InstrFetch);
+        if !hit {
+            self.stall_cycles += self.cfg.read_miss_penalty;
+            self.l2_fill(line, AccessKind::InstrFetch);
+            if self.cfg.next_line_prefetch {
+                self.prefetch_line(line + 1);
+            }
+        }
+        hit
+    }
+
+    /// Installs `line` in the I-cache as a background prefetch: no stall,
+    /// no hit/miss accounting beyond the install itself.
+    fn prefetch_line(&mut self, line: u64) {
+        if !self.icache.probe(line * self.cfg.icache.line_size) {
+            self.icache.access_line(line, AccessKind::InstrFetch);
+            // The install counted as a miss in the raw cache stats; undo
+            // the stall it would imply by charging nothing — the cache
+            // counters still show it, which is fine (prefetches are
+            // fetches), but the processor never waited.
+        }
+    }
+
+    /// Loads every line of `region` through the D-cache (or unified cache),
+    /// charging the read-miss penalty per miss. Returns the misses.
+    pub fn read_data(&mut self, region: Region) -> u64 {
+        if let Some(tlb) = &mut self.dtlb {
+            let refills = tlb.access_range(region.base, region.len);
+            self.stall_cycles += refills * tlb.config().refill_penalty;
+        }
+        let penalty = self.cfg.read_miss_penalty;
+        if self.l2.is_some() {
+            let line_size = self.cfg.icache.line_size;
+            let mut misses = 0;
+            for line_addr in region.line_addrs(line_size) {
+                let line = line_addr / line_size;
+                let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
+                if !cache.access_line(line, AccessKind::Read) {
+                    misses += 1;
+                    self.stall_cycles += penalty;
+                    self.l2_fill(line, AccessKind::Read);
+                }
+            }
+            return misses;
+        }
+        let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
+        let misses = cache.access_range(region.base, region.len, AccessKind::Read);
+        self.stall_cycles += misses * penalty;
+        misses
+    }
+
+    /// Stores to every line of `region` (write-allocate), charging the
+    /// write-miss penalty per miss. Returns the misses.
+    pub fn write_data(&mut self, region: Region) -> u64 {
+        if let Some(tlb) = &mut self.dtlb {
+            let refills = tlb.access_range(region.base, region.len);
+            self.stall_cycles += refills * tlb.config().refill_penalty;
+        }
+        let penalty = self.cfg.write_miss_penalty;
+        if self.l2.is_some() {
+            let line_size = self.cfg.icache.line_size;
+            let mut misses = 0;
+            for line_addr in region.line_addrs(line_size) {
+                let line = line_addr / line_size;
+                let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
+                if !cache.access_line(line, AccessKind::Write) {
+                    misses += 1;
+                    self.stall_cycles += penalty;
+                    self.l2_fill(line, AccessKind::Write);
+                }
+            }
+            return misses;
+        }
+        let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
+        let misses = cache.access_range(region.base, region.len, AccessKind::Write);
+        self.stall_cycles += misses * penalty;
+        misses
+    }
+
+    /// Loads a single D-cache line by line number.
+    pub fn read_data_line(&mut self, line: u64) -> bool {
+        let penalty = self.cfg.read_miss_penalty;
+        let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
+        let hit = cache.access_line(line, AccessKind::Read);
+        if !hit {
+            self.stall_cycles += penalty;
+        }
+        hit
+    }
+
+    /// Invalidates both primary caches (cold start) without resetting
+    /// counters; the L2 (when configured) keeps its contents, as a warm
+    /// board cache would across a context switch.
+    pub fn flush_caches(&mut self) {
+        self.icache.flush();
+        if let Some(d) = &mut self.dcache {
+            d.flush();
+        }
+    }
+
+    /// Invalidates the second-level cache too.
+    pub fn flush_all_caches(&mut self) {
+        self.flush_caches();
+        if let Some(l2) = &mut self.l2 {
+            l2.flush();
+        }
+    }
+
+    /// Invalidates the TLBs (context switch) without resetting counters.
+    pub fn flush_tlbs(&mut self) {
+        if let Some(t) = &mut self.itlb {
+            t.flush();
+        }
+        if let Some(t) = &mut self.dtlb {
+            t.flush();
+        }
+    }
+
+    /// Zeroes all counters without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.icache.reset_stats();
+        if let Some(d) = &mut self.dcache {
+            d.reset_stats();
+        }
+        if let Some(t) = &mut self.itlb {
+            t.reset_stats();
+        }
+        if let Some(t) = &mut self.dtlb {
+            t.reset_stats();
+        }
+        if let Some(l2) = &mut self.l2 {
+            l2.reset_stats();
+        }
+        self.instr_cycles = 0;
+        self.stall_cycles = 0;
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            icache: *self.icache.stats(),
+            dcache: self
+                .dcache
+                .as_ref()
+                .map(|d| *d.stats())
+                .unwrap_or_default(),
+            itlb: self.itlb.as_ref().map(|t| *t.stats()).unwrap_or_default(),
+            dtlb: self.dtlb.as_ref().map(|t| *t.stats()).unwrap_or_default(),
+            l2: self.l2.as_ref().map(|c| *c.stats()).unwrap_or_default(),
+            instr_cycles: self.instr_cycles,
+            stall_cycles: self.stall_cycles,
+        }
+    }
+
+    /// Total cycles elapsed (execution + stalls).
+    pub fn cycles(&self) -> CycleCount {
+        self.instr_cycles + self.stall_cycles
+    }
+
+    /// Converts a cycle count to microseconds at the configured clock.
+    pub fn cycles_to_us(&self, cycles: CycleCount) -> f64 {
+        cycles as f64 / self.cfg.clock_mhz
+    }
+
+    /// Converts microseconds to (rounded) cycles at the configured clock.
+    pub fn us_to_cycles(&self, us: f64) -> CycleCount {
+        (us * self.cfg.clock_mhz).round() as CycleCount
+    }
+
+    /// Direct access to the I-cache (e.g. for warm-up or probing).
+    pub fn icache(&mut self) -> &mut Cache {
+        &mut self.icache
+    }
+
+    /// Direct access to the D-cache; `None` on unified configurations.
+    pub fn dcache(&mut self) -> Option<&mut Cache> {
+        self.dcache.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Region;
+
+    #[test]
+    fn presets_are_sane() {
+        let dec = MachineConfig::dec3000_400();
+        assert_eq!(dec.icache.size_bytes, 8192);
+        assert_eq!(dec.icache.line_size, 32);
+        assert_eq!(dec.read_miss_penalty, 10);
+        let syn = MachineConfig::synthetic_benchmark();
+        assert_eq!(syn.read_miss_penalty, 20);
+        assert_eq!(syn.clock_mhz, 100.0);
+    }
+
+    #[test]
+    fn code_fetch_charges_stalls() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        // 6 KB of code = 192 lines, all cold.
+        let misses = m.fetch_code(Region::new(0, 6144));
+        assert_eq!(misses, 192);
+        assert_eq!(m.stats().stall_cycles, 192 * 20);
+        // Second pass is fully warm.
+        assert_eq!(m.fetch_code(Region::new(0, 6144)), 0);
+    }
+
+    #[test]
+    fn split_caches_do_not_interfere() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        m.fetch_code(Region::new(0, 8192));
+        // Same addresses as data: separate cache, so all cold.
+        let misses = m.read_data(Region::new(0, 8192));
+        assert_eq!(misses, 256);
+        // And code is still warm.
+        assert_eq!(m.fetch_code(Region::new(0, 8192)), 0);
+    }
+
+    #[test]
+    fn unified_cache_shares_lines() {
+        let cfg = MachineConfig {
+            dcache: None,
+            ..MachineConfig::synthetic_benchmark()
+        };
+        let mut m = Machine::new(cfg);
+        m.fetch_code(Region::new(0, 32));
+        assert_eq!(m.read_data(Region::new(0, 32)), 0, "unified: code fetch warmed the line");
+    }
+
+    #[test]
+    fn write_misses_do_not_stall_by_default() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        let misses = m.write_data(Region::new(0, 1024));
+        assert_eq!(misses, 32);
+        assert_eq!(m.stats().stall_cycles, 0);
+        assert_eq!(m.stats().dcache.write_misses, 32);
+    }
+
+    #[test]
+    fn execute_and_time_conversion() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        m.execute(1652);
+        assert_eq!(m.cycles(), 1652);
+        assert!((m.cycles_to_us(100) - 1.0).abs() < 1e-12, "100 cycles at 100 MHz is 1 us");
+        assert_eq!(m.us_to_cycles(2.5), 250);
+    }
+
+    #[test]
+    fn flush_vs_reset() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        m.fetch_code(Region::new(0, 32));
+        m.flush_caches();
+        assert_eq!(m.stats().icache.misses, 1, "flush keeps stats");
+        m.fetch_code(Region::new(0, 32));
+        assert_eq!(m.stats().icache.misses, 2, "flushed line misses again");
+        m.reset_stats();
+        assert_eq!(m.stats().icache.misses, 0);
+        assert_eq!(m.fetch_code(Region::new(0, 32)), 0, "reset keeps contents");
+    }
+
+    #[test]
+    fn next_line_prefetch_halves_straight_line_stalls() {
+        let plain = MachineConfig::synthetic_benchmark();
+        let pf = plain.with_prefetch();
+        let mut a = Machine::new(plain);
+        let mut b = Machine::new(pf);
+        // Straight-line code: every other line arrives by prefetch.
+        a.fetch_code(Region::new(0, 4096));
+        b.fetch_code(Region::new(0, 4096));
+        assert_eq!(a.stats().stall_cycles, 128 * 20);
+        assert_eq!(b.stats().stall_cycles, 64 * 20, "half the stalls");
+        // Warm behaviour identical.
+        a.reset_stats();
+        b.reset_stats();
+        a.fetch_code(Region::new(0, 4096));
+        b.fetch_code(Region::new(0, 4096));
+        assert_eq!(a.stats().stall_cycles, 0);
+        assert_eq!(b.stats().stall_cycles, 0);
+    }
+
+    #[test]
+    fn board_cache_absorbs_repeat_misses() {
+        let cfg = MachineConfig::dec3000_400().with_board_cache();
+        let mut m = Machine::new(cfg);
+        // Cold: 30 KB misses L1 and L2 — both penalties.
+        let lines = 30 * 1024 / 32;
+        m.fetch_code(Region::new(0, 30 * 1024));
+        assert_eq!(m.stats().l2.misses, lines);
+        assert_eq!(m.stats().stall_cycles, lines * (10 + 30));
+        // Evict L1 (working set > 8 KB L1, fits 512 KB L2): second pass
+        // misses L1 but hits L2 — only the 10-cycle fill.
+        let before = m.stats().stall_cycles;
+        m.fetch_code(Region::new(0, 30 * 1024));
+        let added = m.stats().stall_cycles - before;
+        assert!(added < lines * 30, "L2 should absorb most fills: {added}");
+        assert!(m.stats().l2.hits > 0);
+        // flush_caches keeps the L2 warm; flush_all_caches does not.
+        m.flush_caches();
+        let before = m.stats().l2.misses;
+        m.fetch_code(Region::new(0, 1024));
+        assert_eq!(m.stats().l2.misses, before, "board cache still warm");
+        m.flush_all_caches();
+        m.fetch_code(Region::new(0, 1024));
+        assert!(m.stats().l2.misses > before);
+    }
+
+    #[test]
+    fn tlb_integration_charges_refills() {
+        let cfg = MachineConfig::synthetic_benchmark().with_alpha_tlbs();
+        let mut m = Machine::new(cfg);
+        // 30 KB of code spans 4 pages: 4 ITB refills + 960 cache misses.
+        m.fetch_code(Region::new(0, 30 * 1024));
+        let s = m.stats();
+        assert_eq!(s.itlb.misses, 4);
+        assert_eq!(s.stall_cycles, 960 * 20 + 4 * 40);
+        // Second pass: everything warm.
+        m.fetch_code(Region::new(0, 30 * 1024));
+        assert_eq!(m.stats().itlb.misses, 4);
+        // Data TLB is independent.
+        m.read_data(Region::new(0x100_0000, 8192));
+        assert_eq!(m.stats().dtlb.misses, 1);
+        m.flush_tlbs();
+        m.fetch_code(Region::new(0, 32));
+        assert_eq!(m.stats().itlb.misses, 5, "flushed ITB refills again");
+    }
+
+    #[test]
+    fn machines_without_tlbs_report_zero() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        m.fetch_code(Region::new(0, 1024));
+        assert_eq!(m.stats().itlb.accesses(), 0);
+        assert_eq!(m.stats().dtlb.accesses(), 0);
+    }
+
+    #[test]
+    fn code_density_presets() {
+        assert!(MachineConfig::i386_like().code_density < 1.0);
+        assert_eq!(MachineConfig::synthetic_benchmark().code_density, 1.0);
+    }
+
+    #[test]
+    fn line_size_override() {
+        let cfg = MachineConfig::dec3000_400().with_line_size(64);
+        assert_eq!(cfg.icache.line_size, 64);
+        assert_eq!(cfg.dcache.unwrap().line_size, 64);
+        assert_eq!(cfg.icache.num_lines(), 128);
+    }
+}

@@ -1,0 +1,205 @@
+//! A translation-lookaside-buffer model.
+//!
+//! The paper's working sets exclude PAL code, the Alpha's firmware layer
+//! that (among other things) refills the TLB — but it cites Pagels,
+//! Druschel & Peterson's analysis of "cache and TLB effectiveness in
+//! processing network I/O", and TLB refills are part of the same
+//! locality story: a protocol stack whose code spans many pages takes
+//! instruction-TLB misses per message exactly the way it takes I-cache
+//! misses. The model is a fully-associative, LRU translation buffer (the
+//! Alpha 21064's DTB is fully associative), with a fixed refill penalty
+//! standing in for the PAL trap.
+
+use crate::addr::Addr;
+
+/// TLB geometry and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (Alpha 21064: 8–12 ITB, 32 DTB).
+    pub entries: u32,
+    /// Page size in bytes (8 KB on the Alpha). Must be a power of two.
+    pub page_size: u64,
+    /// Cycles charged per refill (the PALcode trap).
+    pub refill_penalty: u64,
+}
+
+impl TlbConfig {
+    /// The Alpha 21064 instruction TLB: 12 entries, 8 KB pages.
+    pub const fn alpha_itb() -> Self {
+        TlbConfig {
+            entries: 12,
+            page_size: 8192,
+            refill_penalty: 40,
+        }
+    }
+
+    /// The Alpha 21064 data TLB: 32 entries, 8 KB pages.
+    pub const fn alpha_dtb() -> Self {
+        TlbConfig {
+            entries: 32,
+            page_size: 8192,
+            refill_penalty: 40,
+        }
+    }
+}
+
+/// TLB hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A fully-associative, LRU translation buffer.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// Resident page numbers, most recently used first.
+    entries: Vec<u64>,
+    stats: TlbStats,
+    page_shift: u32,
+}
+
+impl Tlb {
+    /// An empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.page_size.is_power_of_two());
+        assert!(cfg.entries >= 1);
+        Tlb {
+            entries: Vec::with_capacity(cfg.entries as usize),
+            stats: TlbStats::default(),
+            page_shift: cfg.page_size.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Invalidates all entries (context switch / `tbia`).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Translates `addr`; returns `true` on hit. A miss installs the
+    /// page, evicting the LRU entry when full.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        let page = addr >> self.page_shift;
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            // Move to MRU.
+            self.entries.remove(pos);
+            self.entries.insert(0, page);
+            self.stats.hits += 1;
+            true
+        } else {
+            if self.entries.len() == self.cfg.entries as usize {
+                self.entries.pop();
+            }
+            self.entries.insert(0, page);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Translates every page of `[addr, addr + len)`, returning misses.
+    pub fn access_range(&mut self, addr: Addr, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = addr >> self.page_shift;
+        let last = (addr + len - 1) >> self.page_shift;
+        let mut misses = 0;
+        for page in first..=last {
+            if !self.access(page << self.page_shift) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Whether `addr`'s page is resident (no side effects).
+    pub fn probe(&self, addr: Addr) -> bool {
+        self.entries.contains(&(addr >> self.page_shift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_size: 8192,
+            refill_penalty: 40,
+        })
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = tiny();
+        assert!(!t.access(0x0000));
+        assert!(t.access(0x1fff), "same 8 KB page");
+        assert!(!t.access(0x2000), "next page");
+        assert_eq!(t.stats().misses, 2);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        t.access(0 << 13);
+        t.access(1 << 13);
+        t.access(0 << 13); // page 0 now MRU
+        t.access(2 << 13); // evicts page 1
+        assert!(t.probe(0 << 13));
+        assert!(!t.probe(1 << 13));
+        assert!(t.probe(2 << 13));
+    }
+
+    #[test]
+    fn range_access_counts_pages() {
+        let mut t = Tlb::new(TlbConfig::alpha_itb());
+        // 30 KB of code spans 4 pages starting page-aligned.
+        assert_eq!(t.access_range(0, 30 * 1024), 4);
+        assert_eq!(t.access_range(0, 30 * 1024), 0, "all warm");
+        assert_eq!(t.access_range(100, 0), 0);
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut t = tiny();
+        t.access(0);
+        t.flush();
+        assert!(!t.probe(0));
+        assert_eq!(t.stats().misses, 1, "flush keeps stats");
+        t.reset_stats();
+        assert_eq!(t.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn alpha_presets() {
+        assert_eq!(TlbConfig::alpha_itb().entries, 12);
+        assert_eq!(TlbConfig::alpha_dtb().entries, 32);
+        assert_eq!(TlbConfig::alpha_itb().page_size, 8192);
+    }
+}

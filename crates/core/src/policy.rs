@@ -1,0 +1,67 @@
+//! Batch-sizing policies for blocked layer processing (Section 3.2).
+//!
+//! The paper's online algorithm processes "batches consisting of all
+//! available messages"; for the common special case where one layer fits
+//! the I-cache but the batch's messages must share the D-cache, the batch
+//! is capped at "as many available messages as will fit in the data
+//! cache". Both policies are here, along with a fixed block size for
+//! offline-style experiments and ablations.
+
+/// How many of the currently-available messages to take into one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Take everything that has arrived (the basic online LDLP rule).
+    AllAvailable,
+    /// Take at most as many messages as fit in the data cache alongside
+    /// one layer's working data (the paper's special case, and the cause
+    /// of the curve flattening beyond ~8500 msg/s in Figure 5).
+    DCacheFit,
+    /// A fixed block size (offline blocked processing; ablation baseline).
+    Fixed(usize),
+}
+
+impl BatchPolicy {
+    /// The batch cap for a data cache of `dcache_bytes`, messages of
+    /// `msg_bytes`, and at most `layer_data_bytes` of per-layer data
+    /// resident during a pass. Always at least 1.
+    pub fn limit(&self, dcache_bytes: u64, layer_data_bytes: u64, msg_bytes: u64) -> usize {
+        match self {
+            BatchPolicy::AllAvailable => usize::MAX,
+            BatchPolicy::DCacheFit => {
+                let usable = dcache_bytes.saturating_sub(layer_data_bytes);
+                ((usable / msg_bytes.max(1)) as usize).max(1)
+            }
+            BatchPolicy::Fixed(n) => (*n).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcache_fit_matches_paper_arithmetic() {
+        // 8 KB D-cache, 256 B layer data, 552 B messages:
+        // (8192 - 256) / 552 = 14 messages.
+        assert_eq!(BatchPolicy::DCacheFit.limit(8192, 256, 552), 14);
+    }
+
+    #[test]
+    fn all_available_is_unbounded() {
+        assert_eq!(BatchPolicy::AllAvailable.limit(8192, 256, 552), usize::MAX);
+    }
+
+    #[test]
+    fn fixed_is_fixed_and_nonzero() {
+        assert_eq!(BatchPolicy::Fixed(5).limit(8192, 256, 552), 5);
+        assert_eq!(BatchPolicy::Fixed(0).limit(8192, 256, 552), 1);
+    }
+
+    #[test]
+    fn degenerate_geometry_still_processes_one() {
+        // Messages bigger than the cache: LDLP degrades to one at a time.
+        assert_eq!(BatchPolicy::DCacheFit.limit(8192, 256, 100_000), 1);
+        assert_eq!(BatchPolicy::DCacheFit.limit(256, 8192, 552), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # layout — code placement and cache-conflict analysis
+//!
+//! The paper's synthetic results assume "a good cache layout for each
+//! individual layer ... no self-conflicts. Such a good layout is probably
+//! feasible with commonly available tools such as Cord" (Section 4), and
+//! Section 5.4 quantifies how much working set a dense, outlined layout
+//! saves. This crate provides the placement substrate:
+//!
+//! * [`conflict`] — conflict metrics: how many cache sets a group of code
+//!   regions over-subscribes, and the expected extra misses that causes.
+//! * [`place`] — placement strategies: sequential (link order), seeded
+//!   random (the paper's averaging methodology), and a greedy
+//!   Cord-style placer that chooses each function's cache colour to
+//!   minimize conflicts with the functions it runs with.
+//! * [`outline`] — the Mosberger-style basic-block outlining model: given
+//!   function sizes and touched-byte counts, computes the dense layout's
+//!   working set (used by the dilution ablation).
+
+pub mod anneal;
+pub mod conflict;
+pub mod outline;
+pub mod place;
+
+pub use anneal::{anneal_place, AnnealConfig};
+pub use conflict::{conflict_score, set_occupancy, ConflictReport};
+pub use place::{greedy_place, random_place, sequential_place, PlacedFunction};

@@ -1,0 +1,113 @@
+//! Cache-dilution analysis (Section 5.4).
+//!
+//! A cache line fetched because one basic block executed usually carries
+//! neighbouring bytes that never execute; the paper estimates ~25% of
+//! instruction bytes fetched into the cache this way are dead, and notes
+//! that Mosberger-style basic-block outlining (moving rarely-executed
+//! blocks to the end of the function) recovers most of that waste.
+//!
+//! [`code_dilution`] measures the waste in a trace, and its
+//! [`DilutionReport::dense_reduction`] projects the working-set saving a
+//! perfectly dense layout would achieve (the best case for outlining).
+
+use crate::refset::ByteRefSet;
+use crate::trace::{RefKind, Trace};
+
+/// Result of a dilution analysis at a given line size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DilutionReport {
+    /// Line size analyzed.
+    pub line_size: u64,
+    /// Distinct code bytes actually executed.
+    pub executed_bytes: u64,
+    /// Bytes occupied by the touched lines (`lines * line_size`).
+    pub fetched_bytes: u64,
+    /// Lines in the as-laid-out working set.
+    pub lines: u64,
+    /// Lines a perfectly dense layout would need
+    /// (`ceil(executed_bytes / line_size)`).
+    pub dense_lines: u64,
+}
+
+impl DilutionReport {
+    /// Fraction of fetched instruction bytes that never execute
+    /// (the paper's ~25% for the TCP/IP trace).
+    pub fn dilution(&self) -> f64 {
+        if self.fetched_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.executed_bytes as f64 / self.fetched_bytes as f64
+        }
+    }
+
+    /// Fractional reduction in working-set lines a dense layout achieves.
+    pub fn dense_reduction(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            1.0 - self.dense_lines as f64 / self.lines as f64
+        }
+    }
+}
+
+/// Measures instruction-byte dilution in `trace` at `line_size`.
+pub fn code_dilution(trace: &Trace, line_size: u64) -> DilutionReport {
+    let mut executed = ByteRefSet::new();
+    for r in &trace.refs {
+        if r.kind == RefKind::Code {
+            executed.insert(r.addr, r.size as u64);
+        }
+    }
+    let lines = executed.lines(line_size);
+    let executed_bytes = executed.bytes();
+    DilutionReport {
+        line_size,
+        executed_bytes,
+        fetched_bytes: lines * line_size,
+        lines,
+        dense_lines: executed_bytes.div_ceil(line_size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::Region;
+
+    #[test]
+    fn solid_code_has_no_dilution() {
+        let mut t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        let f = t.add_function("f", Region::new(0, 1024), 0);
+        t.record(0, 1024, RefKind::Code, 0, f);
+        let d = code_dilution(&t, 32);
+        assert_eq!(d.executed_bytes, 1024);
+        assert_eq!(d.lines, 32);
+        assert_eq!(d.dilution(), 0.0);
+        assert_eq!(d.dense_reduction(), 0.0);
+    }
+
+    #[test]
+    fn gappy_code_dilutes() {
+        let mut t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        let f = t.add_function("f", Region::new(0, 4096), 0);
+        // Execute 8 bytes out of every 32-byte line: 75% dilution.
+        for i in 0..16u64 {
+            t.record(i * 32, 8, RefKind::Code, 0, f);
+        }
+        let d = code_dilution(&t, 32);
+        assert_eq!(d.lines, 16);
+        assert_eq!(d.executed_bytes, 128);
+        assert!((d.dilution() - 0.75).abs() < 1e-12);
+        // Densely packed, 128 bytes fit in 4 lines: a 75% line reduction.
+        assert_eq!(d.dense_lines, 4);
+        assert!((d.dense_reduction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        let d = code_dilution(&t, 32);
+        assert_eq!(d.dilution(), 0.0);
+        assert_eq!(d.lines, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Figure-1-style map of active code.
+//!
+//! Figure 1 of the paper plots the code segment on the vertical axis,
+//! divided into functions, against the three phases of the trace, showing
+//! which bytes of each function execute in each phase. This module computes
+//! the per-function, per-phase coverage and renders it as a text map.
+
+use crate::refset::ByteRefSet;
+use crate::trace::{RefKind, Trace};
+
+/// Coverage of one function across all phases.
+#[derive(Debug, Clone)]
+pub struct FunctionCoverage {
+    /// Function name.
+    pub name: String,
+    /// Full size of the function in bytes (printed beside the name in
+    /// Figure 1).
+    pub size: u64,
+    /// Base address (functions are plotted in address order).
+    pub base: u64,
+    /// Layer index of the function.
+    pub layer: u16,
+    /// Distinct code bytes executed, per phase.
+    pub touched_per_phase: Vec<u64>,
+    /// Distinct code bytes executed across the whole trace.
+    pub touched_total: u64,
+}
+
+/// Computes per-function, per-phase code coverage, sorted by base address.
+pub fn function_coverage(trace: &Trace) -> Vec<FunctionCoverage> {
+    let nphases = trace.phases.len();
+    let nfuncs = trace.functions.len();
+    let mut per_phase = vec![vec![ByteRefSet::new(); nphases]; nfuncs];
+    let mut total = vec![ByteRefSet::new(); nfuncs];
+
+    for r in &trace.refs {
+        if r.kind != RefKind::Code {
+            continue;
+        }
+        let f = r.func as usize;
+        per_phase[f][r.phase as usize].insert(r.addr, r.size as u64);
+        total[f].insert(r.addr, r.size as u64);
+    }
+
+    let mut out: Vec<FunctionCoverage> = trace
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FunctionCoverage {
+            name: f.name.clone(),
+            size: f.region.len,
+            base: f.region.base,
+            layer: f.layer,
+            touched_per_phase: per_phase[i].iter().map(|s| s.bytes()).collect(),
+            touched_total: total[i].bytes(),
+        })
+        .collect();
+    out.sort_by_key(|c| c.base);
+    out
+}
+
+/// Renders the coverage as a text map: one row per function (address
+/// order), one bar column per phase. Bar length is proportional to the
+/// fraction of the function executed in that phase.
+pub fn render(trace: &Trace, coverage: &[FunctionCoverage]) -> String {
+    const BAR: usize = 10;
+    let mut out = String::new();
+    out.push_str(&format!("{:<22} {:>6}", "function", "size"));
+    for p in &trace.phases {
+        out.push_str(&format!(" | {:<10}", truncate(p, BAR)));
+    }
+    out.push('\n');
+    for c in coverage {
+        if c.touched_total == 0 {
+            continue;
+        }
+        out.push_str(&format!("{:<22} {:>6}", truncate(&c.name, 22), c.size));
+        for &t in &c.touched_per_phase {
+            let filled = if c.size == 0 {
+                0
+            } else {
+                ((t as f64 / c.size as f64) * BAR as f64).ceil() as usize
+            };
+            let bar: String = "#".repeat(filled.min(BAR)) + &" ".repeat(BAR - filled.min(BAR));
+            out.push_str(&format!(" | {bar}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::Region;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(
+            vec!["L".into()],
+            vec!["entry".into(), "intr".into()],
+        );
+        let f1 = t.add_function("big_func", Region::new(1000, 400), 0);
+        let f0 = t.add_function("small_func", Region::new(0, 100), 0);
+        t.record(0, 50, RefKind::Code, 0, f0);
+        t.record(1000, 400, RefKind::Code, 1, f1);
+        t.record(1000, 100, RefKind::Code, 0, f1);
+        t.record(0x9000, 8, RefKind::Read, 0, f0); // data: ignored by figmap
+        t
+    }
+
+    #[test]
+    fn coverage_sorted_by_address_and_counted() {
+        let t = sample();
+        let cov = function_coverage(&t);
+        assert_eq!(cov[0].name, "small_func");
+        assert_eq!(cov[1].name, "big_func");
+        assert_eq!(cov[0].touched_per_phase, vec![50, 0]);
+        assert_eq!(cov[1].touched_per_phase, vec![100, 400]);
+        assert_eq!(cov[1].touched_total, 400, "phases overlap in bytes");
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let t = sample();
+        let cov = function_coverage(&t);
+        let text = render(&t, &cov);
+        assert!(text.contains("big_func"));
+        assert!(text.contains("small_func"));
+        assert!(text.contains('#'));
+        // Fully-covered phase renders a full bar.
+        let full_bar = "#".repeat(10);
+        assert!(text.contains(&full_bar));
+    }
+
+    #[test]
+    fn untouched_functions_are_omitted() {
+        let mut t = sample();
+        t.add_function("never_run", Region::new(5000, 64), 0);
+        let cov = function_coverage(&t);
+        let text = render(&t, &cov);
+        assert!(!text.contains("never_run"));
+    }
+}
+
+/// Renders the active-code map as a standalone SVG, visually mirroring
+/// Figure 1: the vertical axis is the code segment divided into
+/// functions, one column per phase, filled rectangles where code
+/// executed. Written by hand (no dependencies); open in any browser.
+pub fn render_svg(trace: &Trace, coverage: &[FunctionCoverage]) -> String {
+    let touched: Vec<&FunctionCoverage> =
+        coverage.iter().filter(|c| c.touched_total > 0).collect();
+    let nphases = trace.phases.len();
+    let row_h = 14.0;
+    let label_w = 190.0;
+    let col_w = 130.0;
+    let gap = 10.0;
+    let header_h = 28.0;
+    let width = label_w + nphases as f64 * (col_w + gap) + 20.0;
+    let height = header_h + touched.len() as f64 * row_h + 20.0;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         font-family=\"monospace\" font-size=\"10\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    ));
+    // Phase headers.
+    for (p, name) in trace.phases.iter().enumerate() {
+        let x = label_w + p as f64 * (col_w + gap);
+        svg.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"18\" font-weight=\"bold\">{}</text>\n",
+            x,
+            xml_escape(name)
+        ));
+    }
+    for (row, c) in touched.iter().enumerate() {
+        let y = header_h + row as f64 * row_h;
+        svg.push_str(&format!(
+            "<text x=\"4\" y=\"{:.0}\">{} {}</text>\n",
+            y + row_h - 4.0,
+            xml_escape(&c.name),
+            c.size
+        ));
+        for (p, &t) in c.touched_per_phase.iter().enumerate() {
+            let x = label_w + p as f64 * (col_w + gap);
+            // Outline: the function's full extent.
+            svg.push_str(&format!(
+                "<rect x=\"{:.0}\" y=\"{:.0}\" width=\"{:.0}\" height=\"{:.0}\" \
+                 fill=\"none\" stroke=\"#ccc\"/>\n",
+                x,
+                y + 2.0,
+                col_w,
+                row_h - 4.0
+            ));
+            if t > 0 && c.size > 0 {
+                let frac = (t as f64 / c.size as f64).min(1.0);
+                svg.push_str(&format!(
+                    "<rect x=\"{:.0}\" y=\"{:.0}\" width=\"{:.1}\" height=\"{:.0}\" \
+                     fill=\"#333\"/>\n",
+                    x,
+                    y + 2.0,
+                    col_w * frac,
+                    row_h - 4.0
+                ));
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+    use crate::trace::RefKind;
+    use cachesim::Region;
+
+    #[test]
+    fn svg_is_well_formed_and_scaled() {
+        let mut t = Trace::new(vec!["L".into()], vec!["entry".into(), "exit".into()]);
+        let f = t.add_function("tcp_input", Region::new(0, 1000), 0);
+        t.record(0, 500, RefKind::Code, 1, f);
+        let cov = function_coverage(&t);
+        let svg = render_svg(&t, &cov);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("tcp_input"));
+        assert!(svg.contains("entry"));
+        // Half-covered: a filled rect of half the column width (65 of 130).
+        assert!(svg.contains("width=\"65.0\""), "proportional fill");
+        assert_eq!(svg.matches("fill=\"#333\"").count(), 1, "one filled cell");
+    }
+
+    #[test]
+    fn svg_escapes_names() {
+        let mut t = Trace::new(vec!["L".into()], vec!["p<1>".into()]);
+        let f = t.add_function("a&b", Region::new(0, 64), 0);
+        t.record(0, 8, RefKind::Code, 0, f);
+        let svg = render_svg(&t, &function_coverage(&t));
+        assert!(svg.contains("a&amp;b"));
+        assert!(svg.contains("p&lt;1&gt;"));
+    }
+}

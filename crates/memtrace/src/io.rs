@@ -1,0 +1,238 @@
+//! Trace serialization: a line-oriented text format for saving traces to
+//! disk and reloading them, so external tools (or future sessions) can
+//! analyze the same reference streams — the role of the paper's trace
+//! buffer dumps ("the trace buffer was then dumped to a file and
+//! analyzed").
+//!
+//! Format (one record per line, `#` comments ignored):
+//!
+//! ```text
+//! layer <index> <name>
+//! phase <index> <name>
+//! func <index> <base-hex> <size> <layer-index> <name>
+//! excl <base-hex> <len>
+//! ref <kind:C|R|W> <phase> <func> <addr-hex> <size>
+//! ```
+
+use crate::trace::{FunctionInfo, RefKind, Trace, TraceRef};
+use cachesim::Region;
+use std::fmt::Write as _;
+
+/// Serializes a trace to the text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("# memtrace v1\n");
+    for (i, name) in trace.layers.iter().enumerate() {
+        writeln!(out, "layer {i} {name}").expect("string write");
+    }
+    for (i, name) in trace.phases.iter().enumerate() {
+        writeln!(out, "phase {i} {name}").expect("string write");
+    }
+    for (i, f) in trace.functions.iter().enumerate() {
+        writeln!(
+            out,
+            "func {i} {:x} {} {} {}",
+            f.region.base, f.region.len, f.layer, f.name
+        )
+        .expect("string write");
+    }
+    for e in &trace.excluded {
+        writeln!(out, "excl {:x} {}", e.base, e.len).expect("string write");
+    }
+    for r in &trace.refs {
+        let kind = match r.kind {
+            RefKind::Code => 'C',
+            RefKind::Read => 'R',
+            RefKind::Write => 'W',
+        };
+        writeln!(out, "ref {kind} {} {} {:x} {}", r.phase, r.func, r.addr, r.size)
+            .expect("string write");
+    }
+    out
+}
+
+/// Parses the text format back into a [`Trace`].
+pub fn from_text(text: &str) -> Result<Trace, String> {
+    let mut layers: Vec<(usize, String)> = Vec::new();
+    let mut phases: Vec<(usize, String)> = Vec::new();
+    let mut functions: Vec<(usize, FunctionInfo)> = Vec::new();
+    let mut excluded = Vec::new();
+    let mut refs = Vec::new();
+
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {m}", ln + 1);
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line");
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .map(str::to_string)
+                .ok_or_else(|| err(&format!("missing {what}")))
+        };
+        match tag {
+            "layer" | "phase" => {
+                let idx: usize = next("index")?.parse().map_err(|_| err("bad index"))?;
+                let name = {
+                    let rest: Vec<String> =
+                        std::iter::from_fn(|| parts.next().map(str::to_string)).collect();
+                    if rest.is_empty() {
+                        return Err(err("missing name"));
+                    }
+                    rest.join(" ")
+                };
+                if tag == "layer" {
+                    layers.push((idx, name));
+                } else {
+                    phases.push((idx, name));
+                }
+            }
+            "func" => {
+                let idx: usize = next("index")?.parse().map_err(|_| err("bad index"))?;
+                let base = u64::from_str_radix(&next("base")?, 16).map_err(|_| err("bad base"))?;
+                let len: u64 = next("size")?.parse().map_err(|_| err("bad size"))?;
+                let layer: u16 = next("layer")?.parse().map_err(|_| err("bad layer"))?;
+                let name: Vec<String> =
+                    std::iter::from_fn(|| parts.next().map(str::to_string)).collect();
+                if name.is_empty() {
+                    return Err(err("missing name"));
+                }
+                functions.push((
+                    idx,
+                    FunctionInfo {
+                        name: name.join(" "),
+                        region: Region::new(base, len),
+                        layer,
+                    },
+                ));
+            }
+            "excl" => {
+                let base = u64::from_str_radix(&next("base")?, 16).map_err(|_| err("bad base"))?;
+                let len: u64 = next("len")?.parse().map_err(|_| err("bad len"))?;
+                excluded.push(Region::new(base, len));
+            }
+            "ref" => {
+                let kind = match next("kind")?.as_str() {
+                    "C" => RefKind::Code,
+                    "R" => RefKind::Read,
+                    "W" => RefKind::Write,
+                    other => return Err(err(&format!("bad kind {other}"))),
+                };
+                let phase: u8 = next("phase")?.parse().map_err(|_| err("bad phase"))?;
+                let func: u32 = next("func")?.parse().map_err(|_| err("bad func"))?;
+                let addr = u64::from_str_radix(&next("addr")?, 16).map_err(|_| err("bad addr"))?;
+                let size: u32 = next("size")?.parse().map_err(|_| err("bad size"))?;
+                refs.push(TraceRef {
+                    addr,
+                    size,
+                    kind,
+                    phase,
+                    func,
+                });
+            }
+            other => return Err(err(&format!("unknown record {other}"))),
+        }
+    }
+
+    layers.sort_by_key(|(i, _)| *i);
+    phases.sort_by_key(|(i, _)| *i);
+    functions.sort_by_key(|(i, _)| *i);
+    // Indexes must be dense and in order.
+    for (want, (got, _)) in layers.iter().enumerate() {
+        if *got != want {
+            return Err(format!("layer indexes not dense at {got}"));
+        }
+    }
+    for (want, (got, _)) in functions.iter().enumerate() {
+        if *got != want {
+            return Err(format!("function indexes not dense at {got}"));
+        }
+    }
+    let mut trace = Trace::new(
+        layers.into_iter().map(|(_, n)| n).collect(),
+        phases.into_iter().map(|(_, n)| n).collect(),
+    );
+    trace.functions = functions.into_iter().map(|(_, f)| f).collect();
+    trace.excluded = excluded;
+    // Validate ref indexes before installing.
+    for r in &refs {
+        if r.func as usize >= trace.functions.len() {
+            return Err(format!("ref function index {} out of range", r.func));
+        }
+        if r.phase as usize >= trace.phases.len() {
+            return Err(format!("ref phase index {} out of range", r.phase));
+        }
+    }
+    trace.refs = refs;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(
+            vec!["TCP".into(), "Socket low".into()],
+            vec!["entry".into(), "pkt intr".into()],
+        );
+        let f0 = t.add_function("tcp_input", Region::new(0x1000, 512), 0);
+        let f1 = t.add_function("sb append", Region::new(0x2000, 128), 1);
+        t.excluded.push(Region::new(0x9000, 4096));
+        t.record(0x1000, 64, RefKind::Code, 1, f0);
+        t.record(0x8000, 8, RefKind::Read, 1, f0);
+        t.record(0x8000, 8, RefKind::Write, 0, f1);
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.layers, t.layers);
+        assert_eq!(back.phases, t.phases);
+        assert_eq!(back.functions, t.functions);
+        assert_eq!(back.excluded, t.excluded);
+        assert_eq!(back.refs, t.refs);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let t = sample();
+        let back = from_text(&to_text(&t)).unwrap();
+        assert_eq!(back.functions[1].name, "sb append");
+        assert_eq!(back.layers[1], "Socket low");
+    }
+
+    #[test]
+    fn real_trace_round_trips_and_analyzes_identically() {
+        // The full receive&ack trace from netstack is ~40k records; it
+        // lives in the netstack crate, so here we exercise a mid-sized
+        // synthetic one and verify analyses agree.
+        let mut t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        let f = t.add_function("f", Region::new(0, 8192), 0);
+        for i in 0..500u64 {
+            t.record(i * 16, 8, RefKind::Code, 0, f);
+        }
+        let back = from_text(&to_text(&t)).unwrap();
+        let a = crate::workingset::working_set(&t, 32);
+        let b = crate::workingset::working_set(&back, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_text("bogus line").is_err());
+        assert!(from_text("ref C 0 0 10 4").is_err(), "ref without functions");
+        assert!(from_text("layer 0").is_err(), "missing name");
+        assert!(from_text("func 1 0 10 0 orphan").is_err(), "non-dense index");
+        assert!(from_text("ref X 0 0 10 4").is_err(), "bad kind");
+        // Comments and blanks are fine.
+        assert!(from_text("# nothing\n\n").is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! # memtrace — memory-reference traces and working-set analysis
+//!
+//! This crate is the analogue of the paper's in-kernel tracing apparatus
+//! (Section 2.2, `alphasim_entry`): it represents a protocol-processing run
+//! as a sequence of byte-granularity memory references, then recomputes the
+//! paper's measurement artifacts from the trace:
+//!
+//! * **Table 1** — working-set sizes per layer, split into code, read-only
+//!   data and mutable data, at cache-line granularity
+//!   ([`workingset::working_set`]).
+//! * **Table 2 / Figure 1** — the phases of the receive-and-acknowledge
+//!   path and a map of active code per phase ([`phases`], [`figmap`]).
+//! * **Table 3** — the effect of cache-line size on working-set bytes and
+//!   lines ([`workingset::line_size_sweep`]).
+//! * **Section 5.4** — cache dilution: the fraction of fetched instruction
+//!   bytes that never execute, and the working-set reduction a perfectly
+//!   dense layout would achieve ([`dilution`]).
+//!
+//! Traces are produced by the instrumented stack in the `netstack` crate
+//! (see `netstack::footprint`), but the analysis here is generic: any
+//! producer that emits [`Trace`]s can be analyzed.
+
+pub mod dilution;
+pub mod figmap;
+pub mod io;
+pub mod phases;
+pub mod refset;
+pub mod replay;
+pub mod trace;
+pub mod workingset;
+
+pub use refset::ByteRefSet;
+pub use trace::{FunctionInfo, RefKind, Trace, TraceRef};
+pub use workingset::{working_set, LayerRow, WorkingSetReport};

@@ -1,0 +1,194 @@
+//! Trace representation: functions, layers, phases and references.
+
+use cachesim::Region;
+
+/// The kind of a memory reference in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// Instruction bytes fetched because they executed.
+    Code,
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+}
+
+/// A single memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRef {
+    /// First byte referenced.
+    pub addr: u64,
+    /// Number of bytes referenced.
+    pub size: u32,
+    /// Code fetch, load, or store.
+    pub kind: RefKind,
+    /// Index into [`Trace::phases`].
+    pub phase: u8,
+    /// Index into [`Trace::functions`] of the function executing when the
+    /// reference was made. Used to attribute data to layers (the paper's
+    /// first-access rule) and code bytes to functions.
+    pub func: u32,
+}
+
+/// A function in the traced program's address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionInfo {
+    /// Symbol name (e.g. `tcp_input`).
+    pub name: String,
+    /// The function's full extent in the code segment. References may touch
+    /// only part of it; Figure 1 prints the full size but Table 1 counts
+    /// only touched lines.
+    pub region: Region,
+    /// Index into [`Trace::layers`].
+    pub layer: u16,
+}
+
+/// A complete reference trace of one protocol-processing episode.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Layer (classification) names, e.g. "TCP", "Buffer mgmt".
+    pub layers: Vec<String>,
+    /// Phase names in chronological order, e.g. "entry", "pkt intr", "exit".
+    pub phases: Vec<String>,
+    /// All functions, sorted by base address.
+    pub functions: Vec<FunctionInfo>,
+    /// References in program order.
+    pub refs: Vec<TraceRef>,
+    /// Address regions excluded from working-set accounting (packet
+    /// contents, hardware registers, the stack — Table 1's caption).
+    /// References into these regions still appear in phase summaries.
+    pub excluded: Vec<Region>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given layer and phase name sets.
+    pub fn new(layers: Vec<String>, phases: Vec<String>) -> Self {
+        Trace {
+            layers,
+            phases,
+            functions: Vec::new(),
+            refs: Vec::new(),
+            excluded: Vec::new(),
+        }
+    }
+
+    /// Registers a function; returns its index for use in [`TraceRef::func`].
+    pub fn add_function(&mut self, name: &str, region: Region, layer: u16) -> u32 {
+        assert!((layer as usize) < self.layers.len(), "unknown layer index");
+        self.functions.push(FunctionInfo {
+            name: name.to_string(),
+            region,
+            layer,
+        });
+        (self.functions.len() - 1) as u32
+    }
+
+    /// Appends a reference.
+    pub fn record(&mut self, addr: u64, size: u32, kind: RefKind, phase: u8, func: u32) {
+        debug_assert!((phase as usize) < self.phases.len());
+        debug_assert!((func as usize) < self.functions.len());
+        self.refs.push(TraceRef {
+            addr,
+            size,
+            kind,
+            phase,
+            func,
+        });
+    }
+
+    /// Looks up a function index by name (for tests and reports).
+    pub fn function_named(&self, name: &str) -> Option<u32> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Checks internal consistency: functions don't overlap, every ref
+    /// points at valid indices, and code refs land inside their function.
+    /// Intended for `debug_assert!` use and tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut sorted: Vec<&FunctionInfo> = self.functions.iter().collect();
+        sorted.sort_by_key(|f| f.region.base);
+        for w in sorted.windows(2) {
+            if w[0].region.overlaps(&w[1].region) {
+                return Err(format!(
+                    "functions {} and {} overlap",
+                    w[0].name, w[1].name
+                ));
+            }
+        }
+        for (i, r) in self.refs.iter().enumerate() {
+            if r.func as usize >= self.functions.len() {
+                return Err(format!("ref {i} has bad function index"));
+            }
+            if r.phase as usize >= self.phases.len() {
+                return Err(format!("ref {i} has bad phase index"));
+            }
+            if r.kind == RefKind::Code {
+                let f = &self.functions[r.func as usize];
+                let span = Region::new(r.addr, r.size as u64);
+                if !(f.region.contains(span.base)
+                    && (span.len == 0 || f.region.contains(span.end() - 1)))
+                {
+                    return Err(format!(
+                        "code ref {i} at {:#x}+{} outside its function {}",
+                        r.addr, r.size, f.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Trace {
+        let mut t = Trace::new(
+            vec!["L0".into(), "L1".into()],
+            vec!["p0".into(), "p1".into()],
+        );
+        let f0 = t.add_function("alpha", Region::new(0, 100), 0);
+        let f1 = t.add_function("beta", Region::new(128, 100), 1);
+        t.record(0, 50, RefKind::Code, 0, f0);
+        t.record(128, 10, RefKind::Code, 1, f1);
+        t.record(0x1000, 8, RefKind::Read, 0, f0);
+        t.record(0x1000, 8, RefKind::Write, 1, f1);
+        t
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = tiny();
+        assert_eq!(t.function_named("beta"), Some(1));
+        assert_eq!(t.function_named("gamma"), None);
+        assert_eq!(t.refs.len(), 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let mut t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        t.add_function("a", Region::new(0, 100), 0);
+        t.add_function("b", Region::new(50, 100), 0);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_stray_code_ref() {
+        let mut t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        let f = t.add_function("a", Region::new(0, 100), 0);
+        t.record(200, 4, RefKind::Code, 0, f);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown layer")]
+    fn add_function_rejects_bad_layer() {
+        let mut t = Trace::new(vec!["L".into()], vec!["p".into()]);
+        t.add_function("a", Region::new(0, 10), 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! Working-set accounting at cache-line granularity (Tables 1 and 3).
+//!
+//! The rules follow Section 2.4 of the paper exactly:
+//!
+//! * The unit of memory is a cache line: a reference to any byte makes the
+//!   whole line part of the working set.
+//! * Data is *read-only* if it was never written during the trace,
+//!   *mutable* otherwise.
+//! * Code is classified into layers by the function it belongs to; data is
+//!   classified by the layer of the function executing when the line was
+//!   first referenced.
+//! * Accesses to excluded regions (packet contents, hardware registers,
+//!   the stack) are not counted.
+
+use std::collections::HashSet;
+
+use crate::trace::{RefKind, Trace};
+
+/// Line and byte counts for one (layer, class) cell.
+///
+/// Bytes are always `lines * line_size` — the paper's working-set "size in
+/// bytes" is a line-granular measure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cell {
+    /// Number of distinct cache lines.
+    pub lines: u64,
+    /// `lines * line_size`.
+    pub bytes: u64,
+}
+
+/// Working-set contributions of one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerRow {
+    /// Layer name, from [`Trace::layers`].
+    pub layer: String,
+    /// Code lines/bytes.
+    pub code: Cell,
+    /// Read-only data lines/bytes.
+    pub ro_data: Cell,
+    /// Mutable data lines/bytes.
+    pub mut_data: Cell,
+}
+
+/// A full Table-1-style report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkingSetReport {
+    /// Cache-line size the trace was analyzed at.
+    pub line_size: u64,
+    /// One row per layer, in [`Trace::layers`] order.
+    pub rows: Vec<LayerRow>,
+    /// Column totals.
+    pub total: LayerRow,
+}
+
+impl WorkingSetReport {
+    /// Renders the report as an aligned text table mirroring Table 1.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>10} {:>9}\n",
+            "Description", "Code", "RO Data", "Mut Data"
+        ));
+        for row in self.rows.iter().chain(std::iter::once(&self.total)) {
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>10} {:>9}\n",
+                row.layer, row.code.bytes, row.ro_data.bytes, row.mut_data.bytes
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Code,
+    RoData,
+    MutData,
+}
+
+/// Computes the Table-1 working-set breakdown of `trace` at `line_size`.
+pub fn working_set(trace: &Trace, line_size: u64) -> WorkingSetReport {
+    assert!(line_size.is_power_of_two() && line_size >= 1);
+
+    // Pass 1: which data lines were ever written (=> mutable)?
+    let mut written: HashSet<u64> = HashSet::new();
+    for r in &trace.refs {
+        if r.kind == RefKind::Write && r.size > 0 && !is_excluded(trace, r.addr) {
+            for line in lines_of(r.addr, r.size, line_size) {
+                written.insert(line);
+            }
+        }
+    }
+
+    // Pass 2: first-touch classification of every countable line.
+    let mut seen: HashSet<u64> = HashSet::new();
+    let nlayers = trace.layers.len();
+    let mut cells = vec![[0u64; 3]; nlayers]; // [layer][class] -> lines
+
+    for r in &trace.refs {
+        if r.size == 0 {
+            continue;
+        }
+        if r.kind != RefKind::Code && is_excluded(trace, r.addr) {
+            continue;
+        }
+        let layer = trace.functions[r.func as usize].layer as usize;
+        for line in lines_of(r.addr, r.size, line_size) {
+            if !seen.insert(line) {
+                continue;
+            }
+            let class = match r.kind {
+                RefKind::Code => Class::Code,
+                _ if written.contains(&line) => Class::MutData,
+                _ => Class::RoData,
+            };
+            // Code lines belong to the function's own layer; that is also
+            // the executing function for code refs, so one rule suffices.
+            cells[layer][class as usize] += 1;
+        }
+    }
+
+    let make_cell = |lines: u64| Cell {
+        lines,
+        bytes: lines * line_size,
+    };
+    let mut rows = Vec::with_capacity(nlayers);
+    let mut tot = [0u64; 3];
+    for (i, name) in trace.layers.iter().enumerate() {
+        for c in 0..3 {
+            tot[c] += cells[i][c];
+        }
+        rows.push(LayerRow {
+            layer: name.clone(),
+            code: make_cell(cells[i][Class::Code as usize]),
+            ro_data: make_cell(cells[i][Class::RoData as usize]),
+            mut_data: make_cell(cells[i][Class::MutData as usize]),
+        });
+    }
+    WorkingSetReport {
+        line_size,
+        rows,
+        total: LayerRow {
+            layer: "Total".to_string(),
+            code: make_cell(tot[Class::Code as usize]),
+            ro_data: make_cell(tot[Class::RoData as usize]),
+            mut_data: make_cell(tot[Class::MutData as usize]),
+        },
+    }
+}
+
+fn is_excluded(trace: &Trace, addr: u64) -> bool {
+    trace.excluded.iter().any(|r| r.contains(addr))
+}
+
+fn lines_of(addr: u64, size: u32, line_size: u64) -> impl Iterator<Item = u64> {
+    let first = addr / line_size;
+    let last = (addr + size as u64 - 1) / line_size;
+    first..=last
+}
+
+/// One class's entry in a Table-3-style line-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Working-set size in bytes (`lines * line_size`).
+    pub bytes: u64,
+    /// Working-set size in lines.
+    pub lines: u64,
+    /// Percent change in bytes relative to the baseline line size.
+    pub d_bytes_pct: f64,
+    /// Percent change in lines relative to the baseline line size.
+    pub d_lines_pct: f64,
+}
+
+/// One row (line size) of the Table-3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRow {
+    pub line_size: u64,
+    pub code: SweepCell,
+    pub ro_data: SweepCell,
+    pub mut_data: SweepCell,
+}
+
+/// Recomputes the total working set at each of `line_sizes` and reports
+/// percent changes relative to `baseline` (Table 3 uses a 32-byte
+/// baseline). `baseline` must appear in `line_sizes`.
+pub fn line_size_sweep(trace: &Trace, line_sizes: &[u64], baseline: u64) -> Vec<SweepRow> {
+    assert!(
+        line_sizes.contains(&baseline),
+        "baseline must be one of the swept sizes"
+    );
+    let totals: Vec<(u64, LayerRow)> = line_sizes
+        .iter()
+        .map(|&ls| (ls, working_set(trace, ls).total))
+        .collect();
+    let base = &totals
+        .iter()
+        .find(|(ls, _)| *ls == baseline)
+        .expect("baseline computed")
+        .1
+        .clone();
+
+    let pct = |new: u64, old: u64| {
+        if old == 0 {
+            0.0
+        } else {
+            (new as f64 - old as f64) / old as f64 * 100.0
+        }
+    };
+    totals
+        .into_iter()
+        .map(|(ls, t)| SweepRow {
+            line_size: ls,
+            code: SweepCell {
+                bytes: t.code.bytes,
+                lines: t.code.lines,
+                d_bytes_pct: pct(t.code.bytes, base.code.bytes),
+                d_lines_pct: pct(t.code.lines, base.code.lines),
+            },
+            ro_data: SweepCell {
+                bytes: t.ro_data.bytes,
+                lines: t.ro_data.lines,
+                d_bytes_pct: pct(t.ro_data.bytes, base.ro_data.bytes),
+                d_lines_pct: pct(t.ro_data.lines, base.ro_data.lines),
+            },
+            mut_data: SweepCell {
+                bytes: t.mut_data.bytes,
+                lines: t.mut_data.lines,
+                d_bytes_pct: pct(t.mut_data.bytes, base.mut_data.bytes),
+                d_lines_pct: pct(t.mut_data.lines, base.mut_data.lines),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use cachesim::Region;
+
+    fn layers() -> Vec<String> {
+        vec!["A".into(), "B".into()]
+    }
+
+    #[test]
+    fn code_classified_by_function_layer() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        let fb = t.add_function("fb", Region::new(64, 64), 1);
+        t.record(0, 64, RefKind::Code, 0, fa); // 2 lines of A code
+        t.record(64, 32, RefKind::Code, 0, fb); // 1 line of B code
+        let ws = working_set(&t, 32);
+        assert_eq!(ws.rows[0].code, Cell { lines: 2, bytes: 64 });
+        assert_eq!(ws.rows[1].code, Cell { lines: 1, bytes: 32 });
+        assert_eq!(ws.total.code.lines, 3);
+    }
+
+    #[test]
+    fn data_mutability_is_trace_wide() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        // Read first, written later in the trace: still mutable.
+        t.record(0x1000, 8, RefKind::Read, 0, fa);
+        t.record(0x1000, 8, RefKind::Write, 0, fa);
+        // Read-only word on another line.
+        t.record(0x2000, 8, RefKind::Read, 0, fa);
+        let ws = working_set(&t, 32);
+        assert_eq!(ws.rows[0].mut_data.lines, 1);
+        assert_eq!(ws.rows[0].ro_data.lines, 1);
+    }
+
+    #[test]
+    fn data_layer_is_first_access() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        let fb = t.add_function("fb", Region::new(64, 64), 1);
+        // B touches the line first; A's later touch doesn't reassign it.
+        t.record(0x1000, 8, RefKind::Read, 0, fb);
+        t.record(0x1004, 8, RefKind::Read, 0, fa);
+        let ws = working_set(&t, 32);
+        assert_eq!(ws.rows[0].ro_data.lines, 0);
+        assert_eq!(ws.rows[1].ro_data.lines, 1);
+    }
+
+    #[test]
+    fn excluded_regions_not_counted() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        t.excluded.push(Region::new(0x8000, 0x1000));
+        t.record(0x8000, 552, RefKind::Read, 0, fa); // packet contents
+        t.record(0x1000, 8, RefKind::Read, 0, fa); // countable
+        let ws = working_set(&t, 32);
+        assert_eq!(ws.total.ro_data.lines, 1);
+        assert_eq!(ws.total.mut_data.lines, 0);
+    }
+
+    #[test]
+    fn duplicate_touches_counted_once() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        for _ in 0..10 {
+            t.record(0, 32, RefKind::Code, 0, fa);
+        }
+        let ws = working_set(&t, 32);
+        assert_eq!(ws.total.code.lines, 1);
+    }
+
+    #[test]
+    fn sweep_percentages() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 4096), 0);
+        // A solid 1 KB code run: lines scale exactly inversely with size.
+        t.record(0, 1024, RefKind::Code, 0, fa);
+        let rows = line_size_sweep(&t, &[16, 32, 64], 32);
+        let r16 = &rows[0];
+        let r32 = &rows[1];
+        let r64 = &rows[2];
+        assert_eq!(r32.code.d_lines_pct, 0.0);
+        assert_eq!(r32.code.d_bytes_pct, 0.0);
+        assert!((r16.code.d_lines_pct - 100.0).abs() < 1e-9);
+        assert!((r16.code.d_bytes_pct - 0.0).abs() < 1e-9);
+        assert!((r64.code.d_lines_pct - -50.0).abs() < 1e-9);
+        assert!((r64.code.d_bytes_pct - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_sparse_data_grows_in_bytes_with_big_lines() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        // Isolated 8-byte words, 64 bytes apart: every line size holds one
+        // word per line, so bytes grow linearly with line size.
+        for i in 0..8u64 {
+            t.record(0x1000 + i * 64, 8, RefKind::Read, 0, fa);
+        }
+        let rows = line_size_sweep(&t, &[8, 32, 64], 32);
+        assert!((rows[0].ro_data.d_bytes_pct - -75.0).abs() < 1e-9);
+        assert!((rows[2].ro_data.d_bytes_pct - 100.0).abs() < 1e-9);
+        assert_eq!(rows[1].ro_data.lines, 8);
+    }
+
+    #[test]
+    fn render_contains_rows_and_total() {
+        let mut t = Trace::new(layers(), vec!["p".into()]);
+        let fa = t.add_function("fa", Region::new(0, 64), 0);
+        t.record(0, 32, RefKind::Code, 0, fa);
+        let s = working_set(&t, 32).render();
+        assert!(s.contains("Total"));
+        assert!(s.contains('A'));
+    }
+}

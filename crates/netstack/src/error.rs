@@ -1,0 +1,56 @@
+//! Error types shared across the stack.
+
+use std::fmt;
+
+/// Errors returned by parsing, emission and protocol processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short for the header or declared length.
+    Truncated,
+    /// A header field has an invalid or unsupported value.
+    Malformed,
+    /// A checksum failed verification.
+    Checksum,
+    /// The packet is not addressed to this host.
+    Unaddressable,
+    /// No socket or PCB matches the packet.
+    NoRoute,
+    /// A buffer or queue is full.
+    Exhausted,
+    /// The operation is invalid in the current protocol state.
+    InvalidState,
+    /// The segment falls outside the receive window.
+    OutOfWindow,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::Malformed => "malformed header",
+            Error::Checksum => "checksum mismatch",
+            Error::Unaddressable => "not addressed to this host",
+            Error::NoRoute => "no matching socket or route",
+            Error::Exhausted => "buffer exhausted",
+            Error::InvalidState => "invalid protocol state",
+            Error::OutOfWindow => "segment out of window",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Error::Checksum.to_string(), "checksum mismatch");
+        assert_eq!(Error::Truncated.to_string(), "buffer truncated");
+    }
+}

@@ -1,0 +1,46 @@
+//! # netstack — a small, functional TCP/IP stack with measured footprints
+//!
+//! This crate plays the role of the paper's NetBSD/Alpha protocol stack
+//! (Blackwell, SIGCOMM '96, Section 2). It is a real, if deliberately
+//! small, TCP/IP implementation in the spirit of smoltcp: event-driven,
+//! no wall-clock dependence, simple and robust:
+//!
+//! * [`wire`] — zero-copy wire formats for Ethernet II, ARP, IPv4, ICMPv4,
+//!   UDP and TCP, with full checksum generation and validation.
+//! * [`checksum`] — the Internet checksum in two styles: a *simple* tight
+//!   loop (small code footprint) and a 4.4BSD-flavoured *unrolled* routine
+//!   (large footprint, fewer per-byte operations). Figure 8 of the paper
+//!   compares exactly these two design points under warm and cold caches.
+//! * [`mbuf`] — a 4.4BSD-style message-buffer system: headers are stripped
+//!   and prepended without copying payload bytes, and buffers are handed
+//!   from lower to upper layers as LDLP requires (Section 3.2).
+//! * [`tcp`] — connection state machine, PCBs with a single-entry PCB
+//!   cache, header-prediction fast path, and delayed ACKs
+//!   (ACK-every-second-segment, as the traced BSD stack does).
+//! * [`socket`] — socket receive/send buffers and process wakeup modelling.
+//! * [`iface`] — interface glue: device abstraction, loopback and
+//!   channel devices, ARP cache, dispatch, and fault injection.
+//! * [`footprint`] — the bridge to the measurement study: the function
+//!   inventory of Figure 1 (every function of the traced receive-and-
+//!   acknowledge path with its size and layer) and a builder that replays
+//!   the path as a `memtrace::Trace` for Tables 1–3 and Figure 1.
+//!
+//! The functional stack and the footprint model are deliberately separate:
+//! the stack is validated by behavioural tests (parsing, checksums, state
+//! machines, end-to-end transfers over a loopback device), while the
+//! footprint model carries the byte-accurate measurements the paper
+//! published, so the analysis crates can reproduce the paper's tables on
+//! any host.
+
+pub mod checksum;
+pub mod error;
+pub mod footprint;
+pub mod iface;
+pub mod ipfrag;
+pub mod mbuf;
+pub mod socket;
+pub mod tcp;
+pub mod wire;
+
+pub use error::{Error, Result};
+pub use mbuf::{Mbuf, MbufChain};

@@ -1,0 +1,265 @@
+//! Out-of-order segment assembly.
+//!
+//! Tracks which spans of the receive sequence space beyond `rcv_nxt` have
+//! arrived, buffering their bytes until the gap before them fills. This
+//! is smoltcp's "assembler" idea with payload storage: a bounded list of
+//! disjoint `(offset, bytes)` runs relative to the next expected
+//! sequence number.
+
+use crate::error::{Error, Result};
+
+/// Maximum number of non-contiguous runs held (smoltcp's
+/// `ASSEMBLER_MAX_SEGMENT_COUNT` spirit); segments beyond this are
+/// dropped and must be retransmitted.
+pub const MAX_RUNS: usize = 8;
+
+/// One buffered out-of-order run: `offset` bytes past `rcv_nxt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Run {
+    offset: usize,
+    data: Vec<u8>,
+}
+
+impl Run {
+    fn end(&self) -> usize {
+        self.offset + self.data.len()
+    }
+}
+
+/// Reassembly buffer for one connection's receive window.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    /// Disjoint, sorted by offset, never adjacent (merged eagerly).
+    runs: Vec<Run>,
+    /// Total buffered bytes (bounded by the window by construction).
+    buffered: usize,
+    /// Capacity bound on buffered bytes.
+    capacity: usize,
+}
+
+impl Assembler {
+    /// An assembler buffering at most `capacity` out-of-order bytes.
+    pub fn new(capacity: usize) -> Self {
+        Assembler {
+            runs: Vec::new(),
+            buffered: 0,
+            capacity,
+        }
+    }
+
+    /// Bytes currently buffered out of order.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Inserts `data` at `offset` bytes past the current `rcv_nxt`.
+    /// Overlaps with existing runs are resolved byte-for-byte (existing
+    /// bytes win; TCP retransmissions carry identical data). Fails with
+    /// [`Error::Exhausted`] when the run or byte budget would overflow —
+    /// the segment is then dropped for retransmission, never partially
+    /// stored.
+    pub fn insert(&mut self, offset: usize, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let new_end = offset + data.len();
+        // Compute how many genuinely new bytes this adds.
+        let mut new_bytes = data.len();
+        for r in &self.runs {
+            let lo = r.offset.max(offset);
+            let hi = r.end().min(new_end);
+            if lo < hi {
+                new_bytes -= hi - lo;
+            }
+        }
+        if self.buffered + new_bytes > self.capacity {
+            return Err(Error::Exhausted);
+        }
+
+        // Merge: collect all runs overlapping or adjacent to [offset, end).
+        let mut merged = Run {
+            offset,
+            data: data.to_vec(),
+        };
+        let mut kept = Vec::with_capacity(self.runs.len() + 1);
+        for r in self.runs.drain(..) {
+            if r.end() < merged.offset || r.offset > merged.end() {
+                kept.push(r);
+            } else {
+                merged = merge(merged, r);
+            }
+        }
+        kept.push(merged);
+        kept.sort_by_key(|r| r.offset);
+        if kept.len() > MAX_RUNS {
+            // Refuse: restore previous state minus nothing (runs were
+            // fully rebuilt; reconstruct by removing the new bytes is
+            // complex, so check first instead).
+            // This branch is unreachable because a merge never increases
+            // the run count by more than one; assert in debug.
+            debug_assert!(kept.len() <= MAX_RUNS + 1);
+            // Drop the newly inserted data: rebuild without it.
+            self.runs = kept
+                .into_iter()
+                .filter(|r| !(r.offset <= offset && r.end() >= new_end))
+                .collect();
+            return Err(Error::Exhausted);
+        }
+        self.buffered += new_bytes;
+        self.runs = kept;
+        Ok(())
+    }
+
+    /// Called when `advanced` in-order bytes were accepted (`rcv_nxt`
+    /// moved): shifts all runs down, discarding anything the in-order
+    /// data duplicated, and returns any bytes that are now contiguous
+    /// with `rcv_nxt`. The caller appends the returned bytes to the
+    /// receive buffer and advances `rcv_nxt` by their length — the
+    /// assembler accounts for that internally.
+    pub fn advance(&mut self, advanced: usize) -> Vec<u8> {
+        // Shift down by `advanced`, trimming duplicated heads.
+        let mut shifted = Vec::with_capacity(self.runs.len());
+        for mut r in self.runs.drain(..) {
+            if r.end() <= advanced {
+                // Entirely duplicated by the in-order data: drop.
+                self.buffered -= r.data.len();
+            } else if r.offset < advanced {
+                let cut = advanced - r.offset;
+                r.data.drain(..cut);
+                self.buffered -= cut;
+                r.offset = 0;
+                shifted.push(r);
+            } else {
+                r.offset -= advanced;
+                shifted.push(r);
+            }
+        }
+        self.runs = shifted;
+        // Release the contiguous front run, if any, and account for the
+        // extra rcv_nxt movement its delivery causes. Runs are kept
+        // non-adjacent, so at most one release cascades per call.
+        if let Some(pos) = self.runs.iter().position(|r| r.offset == 0) {
+            let run = self.runs.remove(pos);
+            self.buffered -= run.data.len();
+            let released = run.data.len();
+            for r in &mut self.runs {
+                debug_assert!(r.offset > released, "runs are non-adjacent");
+                r.offset -= released;
+            }
+            return run.data;
+        }
+        Vec::new()
+    }
+
+    /// Clears everything (connection reset).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.buffered = 0;
+    }
+}
+
+fn merge(a: Run, b: Run) -> Run {
+    let offset = a.offset.min(b.offset);
+    let end = a.end().max(b.end());
+    let mut data = vec![0u8; end - offset];
+    // Later writes win; write `a` (the new data) first so existing bytes
+    // from `b` take precedence where they overlap.
+    data[a.offset - offset..a.offset - offset + a.data.len()].copy_from_slice(&a.data);
+    data[b.offset - offset..b.offset - offset + b.data.len()].copy_from_slice(&b.data);
+    Run { offset, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_fill_releases_contiguous_bytes() {
+        let mut a = Assembler::new(4096);
+        // Segment 2 arrives before segment 1.
+        a.insert(100, b"second").unwrap();
+        assert_eq!(a.buffered(), 6);
+        assert!(a.advance(0).is_empty(), "gap still open");
+        // The gap fills in-order (delivered directly), rcv_nxt advances
+        // by 100, and the buffered run becomes contiguous.
+        let released = a.advance(100);
+        assert_eq!(released, b"second");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn adjacent_and_overlapping_runs_merge() {
+        let mut a = Assembler::new(4096);
+        a.insert(10, b"bbb").unwrap();
+        a.insert(13, b"ccc").unwrap(); // adjacent
+        a.insert(8, b"aaaa").unwrap(); // overlaps front
+        assert_eq!(a.buffered(), 8); // bytes 8..16
+        let released = a.advance(8);
+        assert_eq!(released.len(), 8);
+        assert_eq!(&released[..2], b"aa");
+        assert_eq!(&released[5..], b"ccc");
+    }
+
+    #[test]
+    fn existing_bytes_win_on_overlap() {
+        let mut a = Assembler::new(4096);
+        a.insert(5, b"XYZ").unwrap();
+        a.insert(4, b"abcd").unwrap(); // overlaps 5..8
+        let released = a.advance(4);
+        assert_eq!(released, b"aXYZ", "first-arrived bytes kept");
+    }
+
+    #[test]
+    fn capacity_bound_rejects_atomically() {
+        let mut a = Assembler::new(10);
+        a.insert(0, b"12345").unwrap();
+        assert_eq!(a.insert(100, b"678901"), Err(Error::Exhausted));
+        assert_eq!(a.buffered(), 5, "rejected insert left no residue");
+        // Re-inserting overlap of existing data costs nothing new.
+        a.insert(0, b"12345").unwrap();
+        assert_eq!(a.buffered(), 5);
+    }
+
+    #[test]
+    fn many_disjoint_runs_then_drain() {
+        let mut a = Assembler::new(4096);
+        for i in (0..MAX_RUNS).rev() {
+            a.insert(i * 20 + 10, b"x").unwrap();
+        }
+        assert_eq!(a.buffered(), MAX_RUNS);
+        // Drain them one gap at a time.
+        let mut got = 0;
+        let mut advanced = 0;
+        for i in 0..MAX_RUNS {
+            let target = i * 20 + 10;
+            got += a.advance(target - advanced).len();
+            advanced = target;
+            // Each release is the single byte; rcv_nxt then moves past it.
+            advanced += 1;
+            a.advance(1);
+        }
+        let _ = got;
+        assert!(a.buffered() <= 1);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut a = Assembler::new(16);
+        a.insert(5, b"").unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = Assembler::new(64);
+        a.insert(3, b"abc").unwrap();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.buffered(), 0);
+    }
+}

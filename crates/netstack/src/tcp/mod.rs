@@ -1,0 +1,9 @@
+//! TCP: protocol control blocks, state machine, input fast path and
+//! output (see module docs in [`pcb`] and [`machine`]).
+
+pub mod assembler;
+pub mod machine;
+pub mod pcb;
+
+pub use machine::{TcpStack, TcpConfig, PollResult};
+pub use pcb::{Pcb, PcbTable, SocketId, TcpState};

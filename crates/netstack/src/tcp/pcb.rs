@@ -1,0 +1,364 @@
+//! Protocol control blocks and the PCB table.
+//!
+//! The traced BSD stack keeps PCBs on a list with a single-entry cache in
+//! front: on bulk transfer the cache almost always hits ("the single-entry
+//! PCB cache hits", Table 2). [`PcbTable`] reproduces that structure and
+//! counts cache hits and misses so tests and benches can observe it.
+
+use crate::socket::SockBuf;
+use crate::tcp::assembler::Assembler;
+use crate::wire::ipv4::Ipv4Addr;
+use crate::wire::tcp::SeqNumber;
+use std::collections::VecDeque;
+
+/// Identifies a connection endpoint to the application.
+pub type SocketId = usize;
+
+/// TCP connection states (RFC 793).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    Closed,
+    Listen,
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    Closing,
+    LastAck,
+    TimeWait,
+}
+
+impl TcpState {
+    /// Whether the connection can carry data in this state.
+    pub fn can_receive_data(self) -> bool {
+        matches!(self, TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2)
+    }
+}
+
+/// One connection's protocol control block.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    pub id: SocketId,
+    pub state: TcpState,
+    pub local_addr: Ipv4Addr,
+    pub local_port: u16,
+    pub remote_addr: Ipv4Addr,
+    pub remote_port: u16,
+
+    /// Initial send sequence number.
+    pub iss: SeqNumber,
+    /// Oldest unacknowledged sequence number.
+    pub snd_una: SeqNumber,
+    /// Next sequence number to send.
+    pub snd_nxt: SeqNumber,
+    /// Peer's advertised window.
+    pub snd_wnd: u32,
+
+    /// Initial receive sequence number.
+    pub irs: SeqNumber,
+    /// Next sequence number expected.
+    pub rcv_nxt: SeqNumber,
+
+    /// Negotiated maximum segment size.
+    pub mss: u16,
+
+    /// Bytes written by the application but not yet sent. Sent-but-unacked
+    /// bytes are kept in `unacked` for retransmission.
+    pub send_queue: VecDeque<u8>,
+    /// Bytes sent but not yet acknowledged, starting at `snd_una`
+    /// (+1 if a SYN is outstanding).
+    pub unacked: VecDeque<u8>,
+    /// Receive-side socket buffer.
+    pub recv_buf: SockBuf,
+    /// Out-of-order reassembly buffer for the receive window.
+    pub assembler: Assembler,
+
+    /// Number of in-order data segments received since the last ACK we
+    /// sent; BSD acks every second segment.
+    pub segs_since_ack: u8,
+    /// A delayed ACK is pending (flushed by the slow timer).
+    pub delack_pending: bool,
+    /// An ACK must be sent at the next output opportunity.
+    pub ack_now: bool,
+    /// When the delayed ACK must be flushed, if one is pending.
+    pub delack_deadline: Option<u64>,
+    /// The last window we advertised was zero; the next `recv` that opens
+    /// the window must send a window update.
+    pub sent_zero_window: bool,
+
+    /// Application requested close; FIN still needs to be sent once the
+    /// send queue drains.
+    pub fin_queued: bool,
+    /// Our FIN has been sent (occupies sequence space at the end).
+    pub fin_sent: bool,
+
+    /// Retransmission deadline in ms ticks, if any data/FIN/SYN is in
+    /// flight.
+    pub rtx_deadline: Option<u64>,
+    /// Current retransmission timeout in ms (doubles on each timeout).
+    pub rto_ms: u64,
+    /// Consecutive retransmissions of the oldest outstanding data.
+    pub rtx_count: u32,
+    /// When a TIME-WAIT PCB may be reclaimed.
+    pub time_wait_until: Option<u64>,
+    /// Zero-window persist timer: when to probe a closed peer window.
+    pub persist_deadline: Option<u64>,
+}
+
+impl Pcb {
+    /// A fresh closed PCB for the given 4-tuple.
+    pub fn new(
+        id: SocketId,
+        local_addr: Ipv4Addr,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+        recv_capacity: usize,
+    ) -> Self {
+        Pcb {
+            id,
+            state: TcpState::Closed,
+            local_addr,
+            local_port,
+            remote_addr,
+            remote_port,
+            iss: SeqNumber(0),
+            snd_una: SeqNumber(0),
+            snd_nxt: SeqNumber(0),
+            snd_wnd: 0,
+            irs: SeqNumber(0),
+            rcv_nxt: SeqNumber(0),
+            mss: 536,
+            send_queue: VecDeque::new(),
+            unacked: VecDeque::new(),
+            recv_buf: SockBuf::new(recv_capacity),
+            assembler: Assembler::new(recv_capacity),
+            segs_since_ack: 0,
+            delack_pending: false,
+            ack_now: false,
+            delack_deadline: None,
+            sent_zero_window: false,
+            fin_queued: false,
+            fin_sent: false,
+            rtx_deadline: None,
+            rto_ms: 1000,
+            rtx_count: 0,
+            time_wait_until: None,
+            persist_deadline: None,
+        }
+    }
+
+    /// The window we advertise: free space in the receive buffer, capped
+    /// at 65535 (no window scaling).
+    pub fn rcv_wnd(&self) -> u16 {
+        self.recv_buf.free().min(65535) as u16
+    }
+
+    /// Bytes of payload in flight (excludes SYN/FIN sequence space).
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+}
+
+/// Counters for PCB lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcbCacheStats {
+    /// Lookups satisfied by the single-entry cache.
+    pub hits: u64,
+    /// Lookups that had to walk the PCB list.
+    pub misses: u64,
+}
+
+/// The PCB table: a list plus a single-entry lookup cache.
+#[derive(Debug, Default)]
+pub struct PcbTable {
+    pcbs: Vec<Pcb>,
+    /// Index of the most recently matched PCB (the one-entry cache).
+    last: Option<usize>,
+    stats: PcbCacheStats,
+    next_id: SocketId,
+}
+
+impl PcbTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a socket id.
+    pub fn alloc_id(&mut self) -> SocketId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a PCB.
+    pub fn insert(&mut self, pcb: Pcb) {
+        self.pcbs.push(pcb);
+    }
+
+    /// Removes the PCB for `id`, if present.
+    pub fn remove(&mut self, id: SocketId) -> Option<Pcb> {
+        let idx = self.pcbs.iter().position(|p| p.id == id)?;
+        self.last = None;
+        Some(self.pcbs.swap_remove(idx))
+    }
+
+    /// Full-match lookup for an incoming segment
+    /// `(src, sport) -> (dst, dport)`, consulting the one-entry cache
+    /// first, then falling back to a list walk preferring exact matches
+    /// over listening sockets (wildcard remote).
+    pub fn lookup_mut(
+        &mut self,
+        local_addr: Ipv4Addr,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+    ) -> Option<&mut Pcb> {
+        if let Some(i) = self.last {
+            if let Some(p) = self.pcbs.get(i) {
+                if p.local_port == local_port
+                    && p.remote_port == remote_port
+                    && p.local_addr == local_addr
+                    && p.remote_addr == remote_addr
+                {
+                    self.stats.hits += 1;
+                    return self.pcbs.get_mut(i);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        // Exact match first.
+        if let Some(i) = self.pcbs.iter().position(|p| {
+            p.local_port == local_port
+                && p.remote_port == remote_port
+                && p.local_addr == local_addr
+                && p.remote_addr == remote_addr
+        }) {
+            self.last = Some(i);
+            return self.pcbs.get_mut(i);
+        }
+        // Listening socket: wildcard remote.
+        if let Some(i) = self.pcbs.iter().position(|p| {
+            p.state == TcpState::Listen
+                && p.local_port == local_port
+                && (p.local_addr == local_addr || p.local_addr == Ipv4Addr::UNSPECIFIED)
+        }) {
+            // Listen sockets are not cached: the cache is for the
+            // established fast path.
+            return self.pcbs.get_mut(i);
+        }
+        None
+    }
+
+    /// Lookup by socket id.
+    pub fn get_mut(&mut self, id: SocketId) -> Option<&mut Pcb> {
+        self.pcbs.iter_mut().find(|p| p.id == id)
+    }
+
+    /// Lookup by socket id (shared).
+    pub fn get(&self, id: SocketId) -> Option<&Pcb> {
+        self.pcbs.iter().find(|p| p.id == id)
+    }
+
+    /// Iterates all PCBs mutably (for timers).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Pcb> {
+        self.pcbs.iter_mut()
+    }
+
+    /// Iterates all PCBs.
+    pub fn iter(&self) -> impl Iterator<Item = &Pcb> {
+        self.pcbs.iter()
+    }
+
+    /// One-entry cache statistics.
+    pub fn cache_stats(&self) -> PcbCacheStats {
+        self.stats
+    }
+
+    /// Whether a local port is already bound.
+    pub fn port_in_use(&self, port: u16) -> bool {
+        self.pcbs.iter().any(|p| p.local_port == port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr([10, 0, 0, 1]);
+    const B: Ipv4Addr = Ipv4Addr([10, 0, 0, 2]);
+
+    fn established(id: SocketId, lport: u16, rport: u16) -> Pcb {
+        let mut p = Pcb::new(id, A, lport, B, rport, 8192);
+        p.state = TcpState::Established;
+        p
+    }
+
+    #[test]
+    fn single_entry_cache_hits_on_repeat_lookup() {
+        let mut t = PcbTable::new();
+        t.insert(established(0, 80, 5000));
+        t.insert(established(1, 80, 5001));
+        assert!(t.lookup_mut(A, 80, B, 5001).is_some());
+        assert_eq!(t.cache_stats(), PcbCacheStats { hits: 0, misses: 1 });
+        for _ in 0..5 {
+            assert!(t.lookup_mut(A, 80, B, 5001).is_some());
+        }
+        assert_eq!(t.cache_stats(), PcbCacheStats { hits: 5, misses: 1 });
+        // A different connection misses and replaces the cache entry.
+        assert_eq!(t.lookup_mut(A, 80, B, 5000).unwrap().id, 0);
+        assert_eq!(t.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn exact_match_beats_listener() {
+        let mut t = PcbTable::new();
+        let mut listener = Pcb::new(2, A, 80, Ipv4Addr::UNSPECIFIED, 0, 8192);
+        listener.state = TcpState::Listen;
+        t.insert(listener);
+        t.insert(established(3, 80, 7000));
+        assert_eq!(t.lookup_mut(A, 80, B, 7000).unwrap().id, 3);
+        // Unknown remote port falls back to the listener.
+        assert_eq!(t.lookup_mut(A, 80, B, 7001).unwrap().id, 2);
+    }
+
+    #[test]
+    fn wildcard_local_listener_matches_any_local_addr() {
+        let mut t = PcbTable::new();
+        let mut listener = Pcb::new(0, Ipv4Addr::UNSPECIFIED, 22, Ipv4Addr::UNSPECIFIED, 0, 8192);
+        listener.state = TcpState::Listen;
+        t.insert(listener);
+        assert!(t.lookup_mut(A, 22, B, 9999).is_some());
+        assert!(t.lookup_mut(B, 22, A, 9999).is_some());
+        assert!(t.lookup_mut(A, 23, B, 9999).is_none());
+    }
+
+    #[test]
+    fn remove_invalidates_cache() {
+        let mut t = PcbTable::new();
+        t.insert(established(0, 80, 5000));
+        assert!(t.lookup_mut(A, 80, B, 5000).is_some());
+        assert!(t.remove(0).is_some());
+        assert!(t.lookup_mut(A, 80, B, 5000).is_none());
+        assert!(t.remove(0).is_none());
+    }
+
+    #[test]
+    fn rcv_wnd_tracks_buffer_space() {
+        let mut p = established(0, 1, 2);
+        assert_eq!(p.rcv_wnd(), 8192);
+        p.recv_buf.append(&[0u8; 1000]).unwrap();
+        assert_eq!(p.rcv_wnd(), 7192);
+    }
+
+    #[test]
+    fn port_in_use() {
+        let mut t = PcbTable::new();
+        t.insert(established(0, 80, 5000));
+        assert!(t.port_in_use(80));
+        assert!(!t.port_in_use(81));
+    }
+}

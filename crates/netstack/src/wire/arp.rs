@@ -1,0 +1,117 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+
+use crate::error::{Error, Result};
+use crate::wire::ethernet::EthernetAddr;
+use crate::wire::ipv4::Ipv4Addr;
+
+/// Length of an Ethernet/IPv4 ARP packet.
+pub const ARP_PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    Request,
+    Reply,
+}
+
+/// A parsed ARP packet (Ethernet hardware, IPv4 protocol only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    pub op: ArpOp,
+    pub sender_hw: EthernetAddr,
+    pub sender_ip: Ipv4Addr,
+    pub target_hw: EthernetAddr,
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpRepr {
+    /// Parses and validates an ARP packet.
+    pub fn parse(buf: &[u8]) -> Result<ArpRepr> {
+        if buf.len() < ARP_PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if htype != 1 || ptype != 0x0800 || buf[4] != 6 || buf[5] != 4 {
+            return Err(Error::Malformed);
+        }
+        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => return Err(Error::Malformed),
+        };
+        let mut sender_hw = [0u8; 6];
+        let mut target_hw = [0u8; 6];
+        sender_hw.copy_from_slice(&buf[8..14]);
+        target_hw.copy_from_slice(&buf[18..24]);
+        Ok(ArpRepr {
+            op,
+            sender_hw: EthernetAddr(sender_hw),
+            sender_ip: Ipv4Addr([buf[14], buf[15], buf[16], buf[17]]),
+            target_hw: EthernetAddr(target_hw),
+            target_ip: Ipv4Addr([buf[24], buf[25], buf[26], buf[27]]),
+        })
+    }
+
+    /// Serializes the packet.
+    pub fn packet(&self) -> Vec<u8> {
+        let mut out = vec![0u8; ARP_PACKET_LEN];
+        out[0..2].copy_from_slice(&1u16.to_be_bytes()); // Ethernet
+        out[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // IPv4
+        out[4] = 6;
+        out[5] = 4;
+        let op: u16 = match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        };
+        out[6..8].copy_from_slice(&op.to_be_bytes());
+        out[8..14].copy_from_slice(&self.sender_hw.0);
+        out[14..18].copy_from_slice(&self.sender_ip.0);
+        out[18..24].copy_from_slice(&self.target_hw.0);
+        out[24..28].copy_from_slice(&self.target_ip.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(op: ArpOp) -> ArpRepr {
+        ArpRepr {
+            op,
+            sender_hw: EthernetAddr([2, 0, 0, 0, 0, 1]),
+            sender_ip: Ipv4Addr::new(192, 168, 69, 1),
+            target_hw: EthernetAddr([0, 0, 0, 0, 0, 0]),
+            target_ip: Ipv4Addr::new(192, 168, 69, 100),
+        }
+    }
+
+    #[test]
+    fn round_trip_request_and_reply() {
+        for op in [ArpOp::Request, ArpOp::Reply] {
+            let r = sample(op);
+            assert_eq!(ArpRepr::parse(&r.packet()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn bad_hardware_type_rejected() {
+        let mut pkt = sample(ArpOp::Request).packet();
+        pkt[0] = 9;
+        assert_eq!(ArpRepr::parse(&pkt), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn bad_op_rejected() {
+        let mut pkt = sample(ArpOp::Request).packet();
+        pkt[7] = 7;
+        assert_eq!(ArpRepr::parse(&pkt), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let pkt = sample(ArpOp::Request).packet();
+        assert_eq!(ArpRepr::parse(&pkt[..27]), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,164 @@
+//! Ethernet II framing.
+
+use crate::error::{Error, Result};
+
+/// Length of an Ethernet II header (dst + src + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EthernetAddr(pub [u8; 6]);
+
+impl EthernetAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddr = EthernetAddr([0xff; 6]);
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is a unicast address (not multicast, not all-zero).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && self.0 != [0; 6]
+    }
+}
+
+impl std::fmt::Display for EthernetAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// The ethertype field values the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    /// Anything else, carried verbatim.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(v) => v,
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    pub dst: EthernetAddr,
+    pub src: EthernetAddr,
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parses a frame, returning the header and the payload offset.
+    pub fn parse(frame: &[u8]) -> Result<(EthernetRepr, usize)> {
+        if frame.len() < ETHERNET_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]).into();
+        Ok((
+            EthernetRepr {
+                dst: EthernetAddr(dst),
+                src: EthernetAddr(src),
+                ethertype,
+            },
+            ETHERNET_HEADER_LEN,
+        ))
+    }
+
+    /// Writes the header into `buf` (must be at least
+    /// [`ETHERNET_HEADER_LEN`] bytes).
+    pub fn emit(&self, buf: &mut [u8]) {
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&u16::from(self.ethertype).to_be_bytes());
+    }
+
+    /// Builds a complete frame around `payload`.
+    pub fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; ETHERNET_HEADER_LEN + payload.len()];
+        self.emit(&mut out);
+        out[ETHERNET_HEADER_LEN..].copy_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let r = EthernetRepr {
+            dst: EthernetAddr([1, 2, 3, 4, 5, 6]),
+            src: EthernetAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::Ipv4,
+        };
+        let frame = r.frame(b"hello");
+        let (parsed, off) = EthernetRepr::parse(&frame).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(&frame[off..], b"hello");
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(EthernetRepr::parse(&[0u8; 13]), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x1234), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(EtherType::Arp), 0x0806);
+    }
+
+    #[test]
+    fn address_predicates() {
+        assert!(EthernetAddr::BROADCAST.is_broadcast());
+        assert!(EthernetAddr::BROADCAST.is_multicast());
+        assert!(EthernetAddr([2, 0, 0, 0, 0, 1]).is_unicast());
+        assert!(EthernetAddr([1, 0, 0, 0, 0, 0]).is_multicast());
+        assert!(!EthernetAddr([0; 6]).is_unicast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            EthernetAddr([0x02, 0, 0, 0xab, 0xcd, 0xef]).to_string(),
+            "02:00:00:ab:cd:ef"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! IPv4 headers (RFC 791), without options.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// A 32-bit IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// The limited broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr([255; 4]);
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0; 4]);
+
+    /// Builds an address from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// Whether this is the limited broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether this is a class-D multicast address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0xf0 == 0xe0
+    }
+
+    /// Whether the address is a plain unicast address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_broadcast() && !self.is_multicast() && *self != Self::UNSPECIFIED
+    }
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// IP protocol numbers the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    Icmp,
+    Tcp,
+    Udp,
+    Unknown(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Unknown(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(p: Protocol) -> u8 {
+        match p {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Unknown(v) => v,
+        }
+    }
+}
+
+/// A parsed IPv4 header (options unsupported, silently rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub protocol: Protocol,
+    pub ttl: u8,
+    /// Identification field (used by fragmentation; carried verbatim).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// Payload length in bytes (total length minus header).
+    pub payload_len: usize,
+}
+
+impl Ipv4Repr {
+    /// Parses and validates a header; returns the repr and payload offset.
+    ///
+    /// Validates version, header length, total length against the buffer,
+    /// and the header checksum. Fragments (offset != 0 or MF set) are
+    /// reported as [`Error::Malformed`] — reassembly is out of scope, as
+    /// it is for the paper's fast path ("the message ... is not a
+    /// fragment").
+    pub fn parse(buf: &[u8]) -> Result<(Ipv4Repr, usize)> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let version = buf[0] >> 4;
+        let ihl = (buf[0] & 0x0f) as usize * 4;
+        if version != 4 {
+            return Err(Error::Malformed);
+        }
+        if ihl < IPV4_HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if buf.len() < ihl {
+            return Err(Error::Truncated);
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if total_len < ihl || total_len > buf.len() {
+            return Err(Error::Truncated);
+        }
+        if checksum::simple(&buf[..ihl]) != 0 {
+            return Err(Error::Checksum);
+        }
+        let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
+        let more_frags = flags_frag & 0x2000 != 0;
+        let frag_offset = flags_frag & 0x1fff;
+        if more_frags || frag_offset != 0 {
+            return Err(Error::Malformed);
+        }
+        Ok((
+            Ipv4Repr {
+                src: Ipv4Addr([buf[12], buf[13], buf[14], buf[15]]),
+                dst: Ipv4Addr([buf[16], buf[17], buf[18], buf[19]]),
+                protocol: buf[9].into(),
+                ttl: buf[8],
+                ident: u16::from_be_bytes([buf[4], buf[5]]),
+                dont_frag: flags_frag & 0x4000 != 0,
+                payload_len: total_len - ihl,
+            },
+            ihl,
+        ))
+    }
+
+    /// Writes a 20-byte header (checksum included) into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) {
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // DSCP/ECN
+        let total = (IPV4_HEADER_LEN + self.payload_len) as u16;
+        buf[2..4].copy_from_slice(&total.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let flags: u16 = if self.dont_frag { 0x4000 } else { 0 };
+        buf[6..8].copy_from_slice(&flags.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.into();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.0);
+        buf[16..20].copy_from_slice(&self.dst.0);
+        let ck = checksum::simple(&buf[..IPV4_HEADER_LEN]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Builds a complete packet (header + `payload`).
+    pub fn packet(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(payload.len(), self.payload_len);
+        let mut out = vec![0u8; IPV4_HEADER_LEN + payload.len()];
+        self.emit(&mut out);
+        out[IPV4_HEADER_LEN..].copy_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(192, 168, 69, 1),
+            dst: Ipv4Addr::new(192, 168, 69, 2),
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            ident: 0x1234,
+            dont_frag: true,
+            payload_len: 5,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let pkt = r.packet(b"abcde");
+        let (parsed, off) = Ipv4Repr::parse(&pkt).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(off, IPV4_HEADER_LEN);
+        assert_eq!(&pkt[off..], b"abcde");
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let mut pkt = sample().packet(b"abcde");
+        pkt[8] ^= 0xff; // flip TTL without fixing the checksum
+        assert_eq!(Ipv4Repr::parse(&pkt), Err(Error::Checksum));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut pkt = sample().packet(b"abcde");
+        pkt[0] = 0x65;
+        assert_eq!(Ipv4Repr::parse(&pkt), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn fragment_rejected() {
+        let r = sample();
+        let mut pkt = r.packet(b"abcde");
+        // Set MF and fix up the checksum.
+        pkt[6] = 0x20;
+        pkt[10] = 0;
+        pkt[11] = 0;
+        let ck = checksum::simple(&pkt[..IPV4_HEADER_LEN]);
+        pkt[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(Ipv4Repr::parse(&pkt), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn truncated_total_length_rejected() {
+        let r = sample();
+        let pkt = r.packet(b"abcde");
+        assert_eq!(Ipv4Repr::parse(&pkt[..22]), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn total_len_shorter_than_buffer_is_ok() {
+        // Ethernet padding can make the buffer longer than total_length.
+        let r = sample();
+        let mut pkt = r.packet(b"abcde");
+        pkt.extend_from_slice(&[0u8; 10]);
+        let (parsed, _) = Ipv4Repr::parse(&pkt).unwrap();
+        assert_eq!(parsed.payload_len, 5);
+    }
+
+    #[test]
+    fn address_predicates() {
+        assert!(Ipv4Addr::BROADCAST.is_broadcast());
+        assert!(Ipv4Addr::new(224, 0, 0, 1).is_multicast());
+        assert!(Ipv4Addr::new(10, 1, 2, 3).is_unicast());
+        assert!(!Ipv4Addr::UNSPECIFIED.is_unicast());
+        assert_eq!(Ipv4Addr::new(10, 0, 0, 1).to_string(), "10.0.0.1");
+    }
+
+    #[test]
+    fn protocol_mapping_round_trips() {
+        for p in [Protocol::Icmp, Protocol::Tcp, Protocol::Udp, Protocol::Unknown(99)] {
+            assert_eq!(Protocol::from(u8::from(p)), p);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Wire formats: parsing and emission of protocol headers.
+//!
+//! Each protocol has a `Repr` struct (a parsed, validated representation)
+//! with `parse` and `emit` functions. Parsing never panics on arbitrary
+//! input — malformed packets return [`crate::Error`] — and
+//! `parse(emit(x)) == x` is property-tested for every header type.
+
+pub mod arp;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use arp::{ArpOp, ArpRepr};
+pub use ethernet::{EtherType, EthernetAddr, EthernetRepr, ETHERNET_HEADER_LEN};
+pub use icmp::{IcmpRepr, IcmpType};
+pub use ipv4::{Ipv4Addr, Ipv4Repr, Protocol, IPV4_HEADER_LEN};
+pub use tcp::{SeqNumber, TcpFlags, TcpRepr, TCP_HEADER_LEN};
+pub use udp::{UdpRepr, UDP_HEADER_LEN};

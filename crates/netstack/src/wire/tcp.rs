@@ -1,0 +1,339 @@
+//! TCP segments (RFC 793), with MSS option support and wrapping
+//! sequence-number arithmetic.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::wire::ipv4::Ipv4Addr;
+
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// A 32-bit TCP sequence number with wrapping comparison semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNumber(pub u32);
+
+impl SeqNumber {
+    /// `self + n`, wrapping.
+    pub fn add(self, n: u32) -> SeqNumber {
+        SeqNumber(self.0.wrapping_add(n))
+    }
+
+    /// Signed distance from `other` to `self`, wrapping.
+    pub fn diff(self, other: SeqNumber) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// `self < other` in sequence space.
+    pub fn lt(self, other: SeqNumber) -> bool {
+        self.diff(other) < 0
+    }
+
+    /// `self <= other` in sequence space.
+    pub fn le(self, other: SeqNumber) -> bool {
+        self.diff(other) <= 0
+    }
+
+    /// `self > other` in sequence space.
+    pub fn gt(self, other: SeqNumber) -> bool {
+        self.diff(other) > 0
+    }
+
+    /// `self >= other` in sequence space.
+    pub fn ge(self, other: SeqNumber) -> bool {
+        self.diff(other) >= 0
+    }
+}
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    pub fin: bool,
+    pub syn: bool,
+    pub rst: bool,
+    pub psh: bool,
+    pub ack: bool,
+    pub urg: bool,
+}
+
+impl TcpFlags {
+    /// Just SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        fin: false,
+        rst: false,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
+
+    /// Just ACK.
+    pub const ACK: TcpFlags = TcpFlags {
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+        syn: false,
+        urg: false,
+    };
+
+    /// SYN|ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+        urg: false,
+    };
+
+    /// FIN|ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        fin: true,
+        ack: true,
+        syn: false,
+        rst: false,
+        psh: false,
+        urg: false,
+    };
+
+    /// RST|ACK.
+    pub const RST_ACK: TcpFlags = TcpFlags {
+        rst: true,
+        ack: true,
+        syn: false,
+        fin: false,
+        psh: false,
+        urg: false,
+    };
+
+    fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+            | (self.urg as u8) << 5
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+            urg: b & 0x20 != 0,
+        }
+    }
+
+    /// True when only ACK (and possibly PSH) is set — the precondition
+    /// for TCP's header-prediction fast path.
+    pub fn is_pure_ack_or_data(self) -> bool {
+        self.ack && !self.syn && !self.fin && !self.rst && !self.urg
+    }
+}
+
+/// A parsed TCP segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: SeqNumber,
+    pub ack: SeqNumber,
+    pub flags: TcpFlags,
+    pub window: u16,
+    /// MSS option value, present only on SYN segments that carry it.
+    pub mss: Option<u16>,
+}
+
+impl TcpRepr {
+    /// Parses a segment and validates its checksum against the IPv4
+    /// pseudo-header; returns the header and payload offset.
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(TcpRepr, usize)> {
+        if buf.len() < TCP_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let data_off = ((buf[12] >> 4) as usize) * 4;
+        if data_off < TCP_HEADER_LEN || data_off > buf.len() {
+            return Err(Error::Malformed);
+        }
+        if checksum::pseudo_header_v4(src.0, dst.0, 6, buf) != 0 {
+            return Err(Error::Checksum);
+        }
+        // Parse options (only MSS is interpreted; others are skipped).
+        let mut mss = None;
+        let mut opts = &buf[TCP_HEADER_LEN..data_off];
+        while !opts.is_empty() {
+            match opts[0] {
+                0 => break,                  // end of options
+                1 => opts = &opts[1..],      // NOP
+                2 => {
+                    if opts.len() < 4 || opts[1] != 4 {
+                        return Err(Error::Malformed);
+                    }
+                    mss = Some(u16::from_be_bytes([opts[2], opts[3]]));
+                    opts = &opts[4..];
+                }
+                _ => {
+                    if opts.len() < 2 || opts[1] < 2 || opts[1] as usize > opts.len() {
+                        return Err(Error::Malformed);
+                    }
+                    opts = &opts[opts[1] as usize..];
+                }
+            }
+        }
+        Ok((
+            TcpRepr {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                seq: SeqNumber(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]])),
+                ack: SeqNumber(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])),
+                flags: TcpFlags::from_byte(buf[13]),
+                window: u16::from_be_bytes([buf[14], buf[15]]),
+                mss,
+            },
+            data_off,
+        ))
+    }
+
+    /// Header length including options.
+    pub fn header_len(&self) -> usize {
+        TCP_HEADER_LEN + if self.mss.is_some() { 4 } else { 0 }
+    }
+
+    /// Serializes the segment (header + options + payload) with a correct
+    /// checksum.
+    pub fn segment(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        let hlen = self.header_len();
+        let mut out = vec![0u8; hlen + payload.len()];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.0.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.0.to_be_bytes());
+        out[12] = ((hlen / 4) as u8) << 4;
+        out[13] = self.flags.to_byte();
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        if let Some(mss) = self.mss {
+            out[20] = 2;
+            out[21] = 4;
+            out[22..24].copy_from_slice(&mss.to_be_bytes());
+        }
+        out[hlen..].copy_from_slice(payload);
+        let ck = checksum::pseudo_header_v4(src.0, dst.0, 6, &out);
+        out[16..18].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr([10, 0, 0, 1]);
+    const B: Ipv4Addr = Ipv4Addr([10, 0, 0, 2]);
+
+    fn sample() -> TcpRepr {
+        TcpRepr {
+            src_port: 33000,
+            dst_port: 80,
+            seq: SeqNumber(0x01020304),
+            ack: SeqNumber(0x0a0b0c0d),
+            flags: TcpFlags::ACK,
+            window: 8760,
+            mss: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let r = sample();
+        let seg = r.segment(A, B, b"payload bytes");
+        let (parsed, off) = TcpRepr::parse(&seg, A, B).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(off, TCP_HEADER_LEN);
+        assert_eq!(&seg[off..], b"payload bytes");
+    }
+
+    #[test]
+    fn round_trip_syn_with_mss() {
+        let r = TcpRepr {
+            flags: TcpFlags::SYN,
+            mss: Some(1460),
+            ..sample()
+        };
+        let seg = r.segment(A, B, &[]);
+        let (parsed, off) = TcpRepr::parse(&seg, A, B).unwrap();
+        assert_eq!(parsed.mss, Some(1460));
+        assert_eq!(off, 24);
+    }
+
+    #[test]
+    fn checksum_covers_payload_and_pseudo_header() {
+        let r = sample();
+        let mut seg = r.segment(A, B, b"data");
+        seg[21] ^= 1; // flip a payload bit
+        assert_eq!(TcpRepr::parse(&seg, A, B), Err(Error::Checksum));
+        let seg = r.segment(A, B, b"data");
+        assert_eq!(
+            TcpRepr::parse(&seg, A, Ipv4Addr([10, 0, 0, 3])),
+            Err(Error::Checksum)
+        );
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let r = sample();
+        let mut seg = r.segment(A, B, b"");
+        seg[12] = 0x30; // data offset 12 bytes < 20
+        assert_eq!(TcpRepr::parse(&seg, A, B), Err(Error::Malformed));
+        let mut seg = r.segment(A, B, b"");
+        seg[12] = 0xf0; // data offset 60 > buffer
+        assert_eq!(TcpRepr::parse(&seg, A, B), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn unknown_options_skipped() {
+        // Hand-build a header with a NOP, an unknown option, then MSS.
+        let r = TcpRepr {
+            flags: TcpFlags::SYN,
+            mss: None,
+            ..sample()
+        };
+        let mut seg = r.segment(A, B, &[]);
+        // Grow header by 12 option bytes: NOP, kind=99 len=6 (4 data
+        // bytes), MSS, end-of-options.
+        let opts = [1u8, 99, 6, 0, 0, 0, 0, 2, 4, 0x05, 0xb4, 0];
+        seg.extend_from_slice(&opts);
+        seg[12] = ((32 / 4) as u8) << 4;
+        seg[16] = 0;
+        seg[17] = 0;
+        let ck = checksum::pseudo_header_v4(A.0, B.0, 6, &seg);
+        seg[16..18].copy_from_slice(&ck.to_be_bytes());
+        let (parsed, off) = TcpRepr::parse(&seg, A, B).unwrap();
+        assert_eq!(parsed.mss, Some(1460));
+        assert_eq!(off, 32);
+    }
+
+    #[test]
+    fn seq_wrapping_comparisons() {
+        let a = SeqNumber(u32::MAX - 5);
+        let b = a.add(10); // wraps
+        assert!(a.lt(b));
+        assert!(b.gt(a));
+        assert!(a.le(a));
+        assert!(a.ge(a));
+        assert_eq!(b.diff(a), 10);
+        assert_eq!(a.diff(b), -10);
+        assert_eq!(b.0, 4);
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for b in 0..64u8 {
+            assert_eq!(TcpFlags::from_byte(b).to_byte(), b);
+        }
+        assert!(TcpFlags::ACK.is_pure_ack_or_data());
+        assert!(!TcpFlags::SYN_ACK.is_pure_ack_or_data());
+        assert!(!TcpFlags::FIN_ACK.is_pure_ack_or_data());
+    }
+}

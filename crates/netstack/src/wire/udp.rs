@@ -1,0 +1,121 @@
+//! UDP (RFC 768).
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::wire::ipv4::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl UdpRepr {
+    /// Parses a datagram and validates its checksum against the IPv4
+    /// pseudo-header; returns the header and payload offset.
+    ///
+    /// An all-zero checksum field means "no checksum" (legal in UDP/IPv4)
+    /// and is accepted.
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(UdpRepr, usize)> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let length = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+        if length < UDP_HEADER_LEN || length > buf.len() {
+            return Err(Error::Truncated);
+        }
+        let cksum = u16::from_be_bytes([buf[6], buf[7]]);
+        if cksum != 0
+            && checksum::pseudo_header_v4(src.0, dst.0, 17, &buf[..length]) != 0
+        {
+            return Err(Error::Checksum);
+        }
+        Ok((
+            UdpRepr {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            },
+            UDP_HEADER_LEN,
+        ))
+    }
+
+    /// Serializes a datagram with a correct checksum.
+    pub fn packet(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        let len = UDP_HEADER_LEN + payload.len();
+        let mut out = vec![0u8; len];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+        out[UDP_HEADER_LEN..].copy_from_slice(payload);
+        let mut ck = checksum::pseudo_header_v4(src.0, dst.0, 17, &out);
+        if ck == 0 {
+            // A computed zero is transmitted as all-ones (RFC 768).
+            ck = 0xffff;
+        }
+        out[6..8].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr([10, 0, 0, 1]);
+    const B: Ipv4Addr = Ipv4Addr([10, 0, 0, 2]);
+
+    #[test]
+    fn round_trip() {
+        let r = UdpRepr {
+            src_port: 4000,
+            dst_port: 53,
+        };
+        let pkt = r.packet(A, B, b"query");
+        let (parsed, off) = UdpRepr::parse(&pkt, A, B).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(&pkt[off..], b"query");
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let r = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let pkt = r.packet(A, B, b"data");
+        // Same packet claimed to be from a different source must fail.
+        assert_eq!(
+            UdpRepr::parse(&pkt, Ipv4Addr([10, 0, 0, 9]), B),
+            Err(Error::Checksum)
+        );
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let r = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut pkt = r.packet(A, B, b"data");
+        pkt[6] = 0;
+        pkt[7] = 0;
+        assert!(UdpRepr::parse(&pkt, A, B).is_ok());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(UdpRepr::parse(&[0u8; 7], A, B), Err(Error::Truncated));
+        // Declared length longer than the buffer.
+        let r = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
+        let mut pkt = r.packet(A, B, b"data");
+        pkt[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(UdpRepr::parse(&pkt, A, B), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,316 @@
+//! Call-control state machines.
+//!
+//! [`SignalingSwitch`] is the network side the paper worries about: an ATM
+//! switch on the path of a connection, processing each SETUP/RELEASE in a
+//! few tens of microseconds if it is to support thousands of call
+//! attempts per second. [`Caller`] is a user side for tests and traffic
+//! generation.
+
+use crate::wire::{Cause, InfoElement, Message, MessageType};
+use std::collections::HashMap;
+
+/// Call states (a condensed Q.2931 state set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallState {
+    Null,
+    /// SETUP received, CALL PROCEEDING sent (network side).
+    Incoming,
+    /// CONNECT sent, awaiting CONNECT ACK.
+    ConnectRequest,
+    /// The call is up.
+    Active,
+    /// RELEASE sent, awaiting RELEASE COMPLETE.
+    ReleaseRequest,
+}
+
+/// One call's record in the switch.
+#[derive(Debug, Clone)]
+struct Call {
+    state: CallState,
+    vpi: u16,
+    vci: u16,
+}
+
+/// Switch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    pub setups: u64,
+    pub connects: u64,
+    pub releases: u64,
+    pub rejected: u64,
+    pub protocol_errors: u64,
+}
+
+/// The network-side call controller of one switch port.
+#[derive(Debug)]
+pub struct SignalingSwitch {
+    calls: HashMap<u32, Call>,
+    stats: SwitchStats,
+    next_vci: u16,
+    /// Maximum simultaneous calls (VC table capacity).
+    capacity: usize,
+}
+
+impl SignalingSwitch {
+    /// A switch port able to hold `capacity` simultaneous calls.
+    pub fn new(capacity: usize) -> Self {
+        SignalingSwitch {
+            calls: HashMap::new(),
+            stats: SwitchStats::default(),
+            next_vci: 32, // VCIs below 32 are reserved
+            capacity,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Number of calls currently in the table.
+    pub fn active_calls(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// State of a call reference, `Null` if unknown.
+    pub fn call_state(&self, call_ref: u32) -> CallState {
+        self.calls
+            .get(&call_ref)
+            .map(|c| c.state)
+            .unwrap_or(CallState::Null)
+    }
+
+    fn alloc_vci(&mut self) -> u16 {
+        let v = self.next_vci;
+        self.next_vci = if self.next_vci == u16::MAX {
+            32
+        } else {
+            self.next_vci + 1
+        };
+        v
+    }
+
+    /// Processes one incoming message, returning the replies to send.
+    ///
+    /// SETUP is answered with CALL PROCEEDING and then CONNECT carrying
+    /// the allocated VPI/VCI (this switch model answers for the callee,
+    /// like a switch terminating the call on a local port). RELEASE is
+    /// answered with RELEASE COMPLETE. Messages for unknown calls get
+    /// RELEASE COMPLETE with cause "invalid call reference", per Q.2931
+    /// §5.6.
+    pub fn handle(&mut self, msg: &Message) -> Vec<Message> {
+        match msg.kind {
+            MessageType::Setup => {
+                self.stats.setups += 1;
+                if self.calls.contains_key(&msg.call_ref) {
+                    self.stats.protocol_errors += 1;
+                    return vec![Message::new(msg.call_ref, MessageType::Status)
+                        .with(InfoElement::Cause(Cause::InvalidCallReference))];
+                }
+                if self.calls.len() >= self.capacity {
+                    self.stats.rejected += 1;
+                    return vec![Message::new(msg.call_ref, MessageType::ReleaseComplete)
+                        .with(InfoElement::Cause(Cause::ResourceUnavailable))];
+                }
+                let vci = self.alloc_vci();
+                self.calls.insert(
+                    msg.call_ref,
+                    Call {
+                        state: CallState::ConnectRequest,
+                        vpi: 0,
+                        vci,
+                    },
+                );
+                self.stats.connects += 1;
+                vec![
+                    Message::new(msg.call_ref, MessageType::CallProceeding),
+                    Message::new(msg.call_ref, MessageType::Connect)
+                        .with(InfoElement::ConnectionId { vpi: 0, vci }),
+                ]
+            }
+            MessageType::ConnectAck => match self.calls.get_mut(&msg.call_ref) {
+                Some(call) if call.state == CallState::ConnectRequest => {
+                    call.state = CallState::Active;
+                    vec![]
+                }
+                _ => {
+                    self.stats.protocol_errors += 1;
+                    vec![Message::new(msg.call_ref, MessageType::Status)
+                        .with(InfoElement::Cause(Cause::InvalidCallReference))]
+                }
+            },
+            MessageType::Release => {
+                self.stats.releases += 1;
+                match self.calls.remove(&msg.call_ref) {
+                    Some(_) => vec![Message::new(msg.call_ref, MessageType::ReleaseComplete)
+                        .with(InfoElement::Cause(
+                            msg.cause().unwrap_or(Cause::NormalClearing),
+                        ))],
+                    None => {
+                        self.stats.protocol_errors += 1;
+                        vec![Message::new(msg.call_ref, MessageType::ReleaseComplete)
+                            .with(InfoElement::Cause(Cause::InvalidCallReference))]
+                    }
+                }
+            }
+            MessageType::ReleaseComplete => {
+                // Clears any lingering state; no reply (Q.2931 §5.4).
+                self.calls.remove(&msg.call_ref);
+                vec![]
+            }
+            MessageType::CallProceeding | MessageType::Connect | MessageType::Status => {
+                // Network side does not expect these from the user.
+                self.stats.protocol_errors += 1;
+                vec![]
+            }
+        }
+    }
+
+    /// The VPI/VCI assigned to an active call, if any.
+    pub fn connection_of(&self, call_ref: u32) -> Option<(u16, u16)> {
+        self.calls.get(&call_ref).map(|c| (c.vpi, c.vci))
+    }
+}
+
+/// User-side endpoint: originates calls, consumes responses.
+#[derive(Debug, Default)]
+pub struct Caller {
+    next_ref: u32,
+    /// Calls we believe are up, with their assigned VPI/VCI.
+    active: HashMap<u32, (u16, u16)>,
+}
+
+impl Caller {
+    /// A fresh caller.
+    pub fn new() -> Self {
+        Caller {
+            next_ref: 1,
+            active: HashMap::new(),
+        }
+    }
+
+    /// Builds the next SETUP message.
+    pub fn setup(&mut self) -> Message {
+        let call_ref = self.next_ref;
+        self.next_ref = self.next_ref.wrapping_add(1).max(1) & 0x00ff_ffff;
+        crate::wire::sample_setup(call_ref)
+    }
+
+    /// Builds a RELEASE for an active call (the oldest, if `call_ref` is
+    /// `None`).
+    pub fn release(&mut self, call_ref: Option<u32>) -> Option<Message> {
+        let cr = call_ref.or_else(|| self.active.keys().next().copied())?;
+        self.active.remove(&cr);
+        Some(
+            Message::new(cr, MessageType::Release)
+                .with(InfoElement::Cause(Cause::NormalClearing)),
+        )
+    }
+
+    /// Consumes a response from the network; returns the CONNECT ACK to
+    /// send when the call completes.
+    pub fn handle(&mut self, msg: &Message) -> Option<Message> {
+        match msg.kind {
+            MessageType::Connect => {
+                let id = msg.connection_id().unwrap_or((0, 0));
+                self.active.insert(msg.call_ref, id);
+                Some(Message::new(msg.call_ref, MessageType::ConnectAck))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of calls the caller believes are up.
+    pub fn active_calls(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Full setup/teardown handshake through encode/decode.
+    #[test]
+    fn call_lifecycle() {
+        let mut switch = SignalingSwitch::new(1024);
+        let mut caller = Caller::new();
+
+        let setup = caller.setup();
+        let wire = setup.encode();
+        let replies = switch.handle(&Message::decode(&wire).unwrap());
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].kind, MessageType::CallProceeding);
+        assert_eq!(replies[1].kind, MessageType::Connect);
+        let vci = replies[1].connection_id().unwrap().1;
+        assert!(vci >= 32);
+        assert_eq!(switch.call_state(setup.call_ref), CallState::ConnectRequest);
+
+        let ack = caller.handle(&replies[1]).expect("connect ack");
+        assert!(switch.handle(&ack).is_empty());
+        assert_eq!(switch.call_state(setup.call_ref), CallState::Active);
+        assert_eq!(caller.active_calls(), 1);
+
+        let release = caller.release(None).unwrap();
+        let replies = switch.handle(&release);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].kind, MessageType::ReleaseComplete);
+        assert_eq!(replies[0].cause(), Some(Cause::NormalClearing));
+        assert_eq!(switch.active_calls(), 0);
+        assert_eq!(caller.active_calls(), 0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_rejects_with_cause() {
+        let mut switch = SignalingSwitch::new(2);
+        let mut caller = Caller::new();
+        for _ in 0..2 {
+            let s = caller.setup();
+            let r = switch.handle(&s);
+            assert_eq!(r[1].kind, MessageType::Connect);
+        }
+        let s = caller.setup();
+        let r = switch.handle(&s);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].kind, MessageType::ReleaseComplete);
+        assert_eq!(r[0].cause(), Some(Cause::ResourceUnavailable));
+        assert_eq!(switch.stats().rejected, 1);
+    }
+
+    #[test]
+    fn release_of_unknown_call() {
+        let mut switch = SignalingSwitch::new(8);
+        let r = switch.handle(&Message::new(777, MessageType::Release));
+        assert_eq!(r[0].cause(), Some(Cause::InvalidCallReference));
+        assert_eq!(switch.stats().protocol_errors, 1);
+    }
+
+    #[test]
+    fn duplicate_setup_is_a_protocol_error() {
+        let mut switch = SignalingSwitch::new(8);
+        let setup = crate::wire::sample_setup(42);
+        switch.handle(&setup);
+        let r = switch.handle(&setup);
+        assert_eq!(r[0].kind, MessageType::Status);
+        assert_eq!(switch.stats().protocol_errors, 1);
+    }
+
+    #[test]
+    fn vcis_are_distinct_across_calls() {
+        let mut switch = SignalingSwitch::new(64);
+        let mut caller = Caller::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let replies = switch.handle(&caller.setup());
+            let (_, vci) = replies[1].connection_id().unwrap();
+            assert!(seen.insert(vci), "vci {vci} reused while active");
+        }
+    }
+
+    #[test]
+    fn connect_ack_for_unknown_call_is_error() {
+        let mut switch = SignalingSwitch::new(8);
+        let r = switch.handle(&Message::new(5, MessageType::ConnectAck));
+        assert_eq!(r[0].kind, MessageType::Status);
+    }
+}

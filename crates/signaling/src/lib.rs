@@ -1,0 +1,29 @@
+//! # signaling — a Q.93B-shaped ATM signalling protocol
+//!
+//! The paper's motivation (Section 1) is signalling performance: "Our
+//! performance goal is to support 10000 pairs of setup/teardown requests
+//! per second with processing latency of 100 microseconds for setup
+//! requests, using just a commodity workstation processor." This crate
+//! provides that workload:
+//!
+//! * [`wire`] — a Q.93B-flavoured message codec: protocol discriminator,
+//!   call reference, message type, and TLV information elements (called/
+//!   calling party, traffic descriptor, connection identifier/VPI-VCI,
+//!   cause). Small messages — a SETUP is ~100 bytes, exactly the regime
+//!   the paper targets.
+//! * [`call`] — call-control state machines: a network-side
+//!   [`call::SignalingSwitch`] that admits calls, allocates VPI/VCI pairs,
+//!   and tears them down; and a user-side [`call::Caller`].
+//! * [`workload`] — the performance experiment: the signalling protocol
+//!   as a four-layer stack (AAL5/SSCOP/Q.93B codec/call control) with
+//!   realistic code footprints, and arrival generators for paired
+//!   setup/release load (experiment G1 in DESIGN.md).
+
+pub mod call;
+pub mod dns;
+pub mod rpc;
+pub mod wire;
+pub mod workload;
+
+pub use call::{Caller, CallState, SignalingSwitch};
+pub use wire::{Cause, InfoElement, Message, MessageType};

@@ -1,0 +1,377 @@
+//! Q.93B-flavoured wire format.
+//!
+//! Real Q.93B (ITU Q.2931) messages are a protocol discriminator, a call
+//! reference, a message type, a length, and a sequence of TLV information
+//! elements. This codec keeps that structure (and the small-message sizes
+//! that come with it) while trimming the option space to what the call
+//! machines use.
+
+/// Protocol discriminator for our Q.93B-like protocol.
+pub const DISCRIMINATOR: u8 = 0x09;
+/// Fixed header length: discriminator, 3-byte call reference, message
+/// type, 2-byte message length.
+pub const HEADER_LEN: usize = 7;
+
+/// Message types (a subset of Q.2931 §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    Setup,
+    CallProceeding,
+    Connect,
+    ConnectAck,
+    Release,
+    ReleaseComplete,
+    Status,
+}
+
+impl MessageType {
+    fn to_byte(self) -> u8 {
+        match self {
+            MessageType::Setup => 0x05,
+            MessageType::CallProceeding => 0x02,
+            MessageType::Connect => 0x07,
+            MessageType::ConnectAck => 0x0f,
+            MessageType::Release => 0x4d,
+            MessageType::ReleaseComplete => 0x5a,
+            MessageType::Status => 0x7d,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<MessageType> {
+        Some(match b {
+            0x05 => MessageType::Setup,
+            0x02 => MessageType::CallProceeding,
+            0x07 => MessageType::Connect,
+            0x0f => MessageType::ConnectAck,
+            0x4d => MessageType::Release,
+            0x5a => MessageType::ReleaseComplete,
+            0x7d => MessageType::Status,
+            _ => return None,
+        })
+    }
+}
+
+/// Release/status cause values (Q.850-flavoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    NormalClearing,
+    UserBusy,
+    NoRouteToDestination,
+    ResourceUnavailable,
+    InvalidCallReference,
+    Other(u8),
+}
+
+impl Cause {
+    fn to_byte(self) -> u8 {
+        match self {
+            Cause::NormalClearing => 16,
+            Cause::UserBusy => 17,
+            Cause::NoRouteToDestination => 3,
+            Cause::ResourceUnavailable => 47,
+            Cause::InvalidCallReference => 81,
+            Cause::Other(v) => v,
+        }
+    }
+
+    fn from_byte(b: u8) -> Cause {
+        match b {
+            16 => Cause::NormalClearing,
+            17 => Cause::UserBusy,
+            3 => Cause::NoRouteToDestination,
+            47 => Cause::ResourceUnavailable,
+            81 => Cause::InvalidCallReference,
+            v => Cause::Other(v),
+        }
+    }
+}
+
+/// Information elements (TLVs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InfoElement {
+    /// E.164-ish called party digits.
+    CalledParty(Vec<u8>),
+    /// Calling party digits.
+    CallingParty(Vec<u8>),
+    /// Peak cell rate, cells/second.
+    TrafficDescriptor { pcr: u32 },
+    /// VPI/VCI assigned to the call.
+    ConnectionId { vpi: u16, vci: u16 },
+    /// Release cause.
+    Cause(Cause),
+    /// Anything we don't interpret, carried verbatim.
+    Unknown { id: u8, data: Vec<u8> },
+}
+
+impl InfoElement {
+    fn id(&self) -> u8 {
+        match self {
+            InfoElement::CalledParty(_) => 0x70,
+            InfoElement::CallingParty(_) => 0x6c,
+            InfoElement::TrafficDescriptor { .. } => 0x59,
+            InfoElement::ConnectionId { .. } => 0x5a,
+            InfoElement::Cause(_) => 0x08,
+            InfoElement::Unknown { id, .. } => *id,
+        }
+    }
+
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        match self {
+            InfoElement::CalledParty(d) | InfoElement::CallingParty(d) => {
+                out.extend_from_slice(d)
+            }
+            InfoElement::TrafficDescriptor { pcr } => out.extend_from_slice(&pcr.to_be_bytes()),
+            InfoElement::ConnectionId { vpi, vci } => {
+                out.extend_from_slice(&vpi.to_be_bytes());
+                out.extend_from_slice(&vci.to_be_bytes());
+            }
+            InfoElement::Cause(c) => out.push(c.to_byte()),
+            InfoElement::Unknown { data, .. } => out.extend_from_slice(data),
+        }
+    }
+
+    fn decode(id: u8, value: &[u8]) -> Result<InfoElement, String> {
+        Ok(match id {
+            0x70 => InfoElement::CalledParty(value.to_vec()),
+            0x6c => InfoElement::CallingParty(value.to_vec()),
+            0x59 => {
+                if value.len() != 4 {
+                    return Err("traffic descriptor must be 4 bytes".into());
+                }
+                InfoElement::TrafficDescriptor {
+                    pcr: u32::from_be_bytes([value[0], value[1], value[2], value[3]]),
+                }
+            }
+            0x5a => {
+                if value.len() != 4 {
+                    return Err("connection id must be 4 bytes".into());
+                }
+                InfoElement::ConnectionId {
+                    vpi: u16::from_be_bytes([value[0], value[1]]),
+                    vci: u16::from_be_bytes([value[2], value[3]]),
+                }
+            }
+            0x08 => {
+                if value.len() != 1 {
+                    return Err("cause must be 1 byte".into());
+                }
+                InfoElement::Cause(Cause::from_byte(value[0]))
+            }
+            _ => InfoElement::Unknown {
+                id,
+                data: value.to_vec(),
+            },
+        })
+    }
+}
+
+/// A complete signalling message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Call reference: identifies the call on the interface. The high bit
+    /// flags the side that allocated it, as in Q.2931.
+    pub call_ref: u32,
+    pub kind: MessageType,
+    pub elements: Vec<InfoElement>,
+}
+
+impl Message {
+    /// Creates a message with no information elements.
+    pub fn new(call_ref: u32, kind: MessageType) -> Self {
+        Message {
+            call_ref,
+            kind,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Builder-style IE append.
+    pub fn with(mut self, ie: InfoElement) -> Self {
+        self.elements.push(ie);
+        self
+    }
+
+    /// Finds the first IE matching the predicate-projection.
+    pub fn find<T>(&self, f: impl Fn(&InfoElement) -> Option<T>) -> Option<T> {
+        self.elements.iter().find_map(f)
+    }
+
+    /// The assigned VPI/VCI, if present.
+    pub fn connection_id(&self) -> Option<(u16, u16)> {
+        self.find(|ie| match ie {
+            InfoElement::ConnectionId { vpi, vci } => Some((*vpi, *vci)),
+            _ => None,
+        })
+    }
+
+    /// The cause IE, if present.
+    pub fn cause(&self) -> Option<Cause> {
+        self.find(|ie| match ie {
+            InfoElement::Cause(c) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(DISCRIMINATOR);
+        // 3-byte call reference (masked to 24 bits, as in Q.2931).
+        let cr = self.call_ref & 0x00ff_ffff;
+        out.extend_from_slice(&cr.to_be_bytes()[1..4]);
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&[0, 0]); // length, patched below
+        for ie in &self.elements {
+            out.push(ie.id());
+            let len_at = out.len();
+            out.extend_from_slice(&[0, 0]);
+            ie.encode_value(&mut out);
+            let len = (out.len() - len_at - 2) as u16;
+            out[len_at..len_at + 2].copy_from_slice(&len.to_be_bytes());
+        }
+        let body = (out.len() - HEADER_LEN) as u16;
+        out[5..7].copy_from_slice(&body.to_be_bytes());
+        out
+    }
+
+    /// Parses a message, validating structure and lengths.
+    pub fn decode(buf: &[u8]) -> Result<Message, String> {
+        if buf.len() < HEADER_LEN {
+            return Err("truncated header".into());
+        }
+        if buf[0] != DISCRIMINATOR {
+            return Err(format!("bad discriminator {:#x}", buf[0]));
+        }
+        let call_ref = u32::from_be_bytes([0, buf[1], buf[2], buf[3]]);
+        let kind = MessageType::from_byte(buf[4])
+            .ok_or_else(|| format!("unknown message type {:#x}", buf[4]))?;
+        let body = u16::from_be_bytes([buf[5], buf[6]]) as usize;
+        if HEADER_LEN + body > buf.len() {
+            return Err("declared length exceeds buffer".into());
+        }
+        let mut elements = Vec::new();
+        let mut rest = &buf[HEADER_LEN..HEADER_LEN + body];
+        while !rest.is_empty() {
+            if rest.len() < 3 {
+                return Err("truncated IE header".into());
+            }
+            let id = rest[0];
+            let len = u16::from_be_bytes([rest[1], rest[2]]) as usize;
+            if rest.len() < 3 + len {
+                return Err("truncated IE value".into());
+            }
+            elements.push(InfoElement::decode(id, &rest[3..3 + len])?);
+            rest = &rest[3 + len..];
+        }
+        Ok(Message {
+            call_ref,
+            kind,
+            elements,
+        })
+    }
+
+    /// Encoded size in bytes — signalling messages are small, which is
+    /// the whole point of the paper.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// A typical SETUP for tests and workloads: called/calling numbers and a
+/// traffic descriptor, ~100 bytes encoded.
+pub fn sample_setup(call_ref: u32) -> Message {
+    Message::new(call_ref, MessageType::Setup)
+        .with(InfoElement::CalledParty(
+            b"14155551212francisco".to_vec(),
+        ))
+        .with(InfoElement::CallingParty(b"16175554242cambridge".to_vec()))
+        .with(InfoElement::TrafficDescriptor { pcr: 353_207 })
+        .with(InfoElement::Unknown {
+            id: 0x42,
+            data: vec![0xaa; 30],
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_message_types() {
+        for kind in [
+            MessageType::Setup,
+            MessageType::CallProceeding,
+            MessageType::Connect,
+            MessageType::ConnectAck,
+            MessageType::Release,
+            MessageType::ReleaseComplete,
+            MessageType::Status,
+        ] {
+            let m = Message::new(0x1234, kind)
+                .with(InfoElement::ConnectionId { vpi: 3, vci: 1789 })
+                .with(InfoElement::Cause(Cause::NormalClearing));
+            let decoded = Message::decode(&m.encode()).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn setup_is_about_a_hundred_bytes() {
+        let len = sample_setup(1).encoded_len();
+        assert!(
+            (80..160).contains(&len),
+            "SETUP should be ~100 bytes, got {len}"
+        );
+    }
+
+    #[test]
+    fn call_ref_is_24_bits() {
+        let m = Message::new(0xff_123456, MessageType::Setup);
+        let d = Message::decode(&m.encode()).unwrap();
+        assert_eq!(d.call_ref, 0x123456);
+    }
+
+    #[test]
+    fn accessors_find_elements() {
+        let m = Message::new(9, MessageType::Connect)
+            .with(InfoElement::ConnectionId { vpi: 1, vci: 42 });
+        assert_eq!(m.connection_id(), Some((1, 42)));
+        assert_eq!(m.cause(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[0x08, 0, 0, 1, 0x05, 0, 0]).is_err(), "bad discriminator");
+        let mut good = Message::new(1, MessageType::Setup).encode();
+        good[4] = 0xee;
+        assert!(Message::decode(&good).is_err(), "unknown type");
+        let mut truncated_ie = Message::new(1, MessageType::Setup)
+            .with(InfoElement::Cause(Cause::UserBusy))
+            .encode();
+        truncated_ie.truncate(truncated_ie.len() - 1);
+        // Header length now exceeds the buffer.
+        assert!(Message::decode(&truncated_ie).is_err());
+    }
+
+    #[test]
+    fn unknown_ies_are_preserved() {
+        let m = Message::new(7, MessageType::Status).with(InfoElement::Unknown {
+            id: 0x99,
+            data: vec![1, 2, 3],
+        });
+        let d = Message::decode(&m.encode()).unwrap();
+        assert_eq!(d.elements.len(), 1);
+        assert!(matches!(&d.elements[0], InfoElement::Unknown { id: 0x99, data } if data == &[1,2,3]));
+    }
+
+    #[test]
+    fn ie_length_validation() {
+        // A cause IE with a 2-byte value is malformed.
+        let mut bytes = Message::new(1, MessageType::Release).encode();
+        bytes.extend_from_slice(&[0x08, 0, 2, 16, 16]);
+        let body = (bytes.len() - HEADER_LEN) as u16;
+        bytes[5..7].copy_from_slice(&body.to_be_bytes());
+        assert!(Message::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # simnet — load simulation for layer-processing schedules
+//!
+//! The experimental apparatus of the paper's Section 4: a discrete-event
+//! simulation that feeds a stream of message arrivals through a
+//! `ldlp::StackEngine` and measures latency, throughput, drops, and cache
+//! misses per message.
+//!
+//! * [`traffic`] — arrival processes: Poisson (Figures 5 and 6),
+//!   deterministic, a self-similar superposition of Pareto ON/OFF sources
+//!   standing in for the Bellcore Ethernet traces (Figure 7; Leland et
+//!   al.'s traces are not redistributable, and Willinger et al. showed
+//!   this construction converges to the same self-similar process), and
+//!   trace files.
+//! * [`sim`] — the event loop: a bounded NIC buffer (500 packets in the
+//!   paper), batch admission per the engine's discipline ("process
+//!   batches consisting of all available messages"), and per-message
+//!   latency accounting.
+//! * [`stats`] — report aggregation, percentiles, and a Hurst-parameter
+//!   estimator (aggregated-variance method) used to validate the
+//!   self-similar source.
+
+pub mod sim;
+pub mod stats;
+pub mod traffic;
+
+pub use sim::{run_sim, run_sim_traced, BatchRecord, SimConfig};
+pub use stats::SimReport;
+pub use traffic::{
+    Arrival, MmppSource, PoissonSource, SelfSimilarSource, TraceSource, TrafficSource,
+    TrainSource,
+};

@@ -1,0 +1,308 @@
+//! The event loop: arrivals, a bounded NIC buffer, batch admission, and
+//! latency accounting.
+//!
+//! The loop implements the paper's online LDLP algorithm (Section 3.1):
+//! "when the protocol stack is able to accept a new message, it takes all
+//! available messages and processes them in a blocked pattern. When it is
+//! finished, it again looks for new messages." Under light load batches
+//! are singletons; under heavy load they grow to the engine's batch cap.
+//! Messages arriving while a batch is in flight wait in the adaptor
+//! buffer, which holds at most `buffer_cap` packets (500 in the paper) —
+//! beyond that, arrivals are dropped.
+
+use crate::stats::SimReport;
+use crate::traffic::Arrival;
+use ldlp::synth::MessagePool;
+use ldlp::{SimMessage, StackEngine};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// NIC buffer capacity in packets (paper: 500).
+    pub buffer_cap: usize,
+    /// How long the arrival stream runs, in seconds.
+    pub duration_s: f64,
+    /// Message-buffer pool entries (ring size). Must exceed the largest
+    /// batch the engine can form.
+    pub pool_bufs: usize,
+    /// Message-buffer size in bytes (must hold the largest message).
+    pub pool_buf_bytes: u64,
+    /// Seed for message-buffer placement.
+    pub pool_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            buffer_cap: 500,
+            duration_s: 1.0,
+            pool_bufs: 64,
+            pool_buf_bytes: 1536,
+            pool_seed: 1,
+        }
+    }
+}
+
+/// One processed batch in a traced run: when it started, how many
+/// messages it carried, and how deep the NIC queue was when it formed.
+/// The paper's online algorithm in motion: "under light load, messages
+/// will usually be processed singly ... under heavy load, messages will
+/// be processed in batches".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchRecord {
+    /// Batch start time in seconds.
+    pub time_s: f64,
+    /// Messages in the batch.
+    pub batch: usize,
+    /// NIC-queue depth after the batch was taken.
+    pub queue_after: usize,
+}
+
+/// Runs `arrivals` (time-sorted, in seconds) through `engine` and returns
+/// the aggregated report. The engine's machine clock defines processing
+/// cost; its configured `clock_mhz` converts arrival times to cycles.
+pub fn run_sim(engine: &mut StackEngine, arrivals: &[Arrival], cfg: &SimConfig) -> SimReport {
+    run_sim_traced(engine, arrivals, cfg, None)
+}
+
+/// [`run_sim`] with an optional per-batch trace collector.
+pub fn run_sim_traced(
+    engine: &mut StackEngine,
+    arrivals: &[Arrival],
+    cfg: &SimConfig,
+    mut trace: Option<&mut Vec<BatchRecord>>,
+) -> SimReport {
+    let clock_mhz = engine.machine().config().clock_mhz;
+    let cycles_per_s = clock_mhz * 1e6;
+    let mut pool = MessagePool::new(cfg.pool_bufs, cfg.pool_buf_bytes, cfg.pool_seed);
+
+    // NIC buffer: (arrival_cycle, bytes) in arrival order.
+    let mut nic: std::collections::VecDeque<(u64, u32)> =
+        std::collections::VecDeque::with_capacity(cfg.buffer_cap);
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(arrivals.len());
+    let mut imisses: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut dmisses: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut drops = 0u64;
+    let mut batches = 0u64;
+
+    let mut next_arrival = 0usize;
+    // Simulation clock in cycles. The machine's own cycle counter only
+    // advances while processing; `now` also advances across idle gaps.
+    let mut now: u64 = 0;
+    let mut msg_id: u64 = 0;
+
+    let arrival_cycle =
+        |a: &Arrival| -> u64 { (a.time_s * cycles_per_s).round() as u64 };
+
+    loop {
+        // Admit everything that has arrived by `now`.
+        while next_arrival < arrivals.len() && arrival_cycle(&arrivals[next_arrival]) <= now {
+            let a = &arrivals[next_arrival];
+            if nic.len() < cfg.buffer_cap {
+                nic.push_back((arrival_cycle(a), a.bytes));
+            } else {
+                drops += 1;
+            }
+            next_arrival += 1;
+        }
+
+        if nic.is_empty() {
+            match arrivals.get(next_arrival) {
+                // Idle: jump to the next arrival.
+                Some(a) => {
+                    now = now.max(arrival_cycle(a));
+                    continue;
+                }
+                // Drained everything: done.
+                None => break,
+            }
+        }
+
+        // Form a batch: up to the engine's cap, sized by the *largest*
+        // message in the candidate set (conservative for mixed sizes).
+        let max_bytes = nic.iter().map(|&(_, b)| b).max().expect("nonempty") as u64;
+        let limit = engine
+            .batch_limit(max_bytes)
+            .min(nic.len())
+            .min(cfg.pool_bufs);
+        let mut batch: Vec<SimMessage> = Vec::with_capacity(limit);
+        let mut batch_arrivals: Vec<u64> = Vec::with_capacity(limit);
+        for _ in 0..limit {
+            let (arr, bytes) = nic.pop_front().expect("limit <= len");
+            let mut m = pool.make_message(msg_id, bytes as u64);
+            m.arrival_cycles = arr;
+            msg_id += 1;
+            batch.push(m);
+            batch_arrivals.push(arr);
+        }
+        batches += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(BatchRecord {
+                time_s: now as f64 / cycles_per_s,
+                batch: batch.len(),
+                queue_after: nic.len(),
+            });
+        }
+
+        // Process: the machine's counter advances by the batch cost.
+        let machine_before = engine.machine().cycles();
+        let completions = engine.process_batch(&batch);
+        let machine_after = engine.machine().cycles();
+        // Batch runs in sim time [now, now + cost).
+        let offset = now - machine_before;
+        for (c, &arr) in completions.iter().zip(&batch_arrivals) {
+            let finish = c.done_cycles + offset;
+            let lat_cycles = finish.saturating_sub(arr);
+            latencies_us.push(lat_cycles as f64 / clock_mhz);
+            imisses.push(c.imisses);
+            dmisses.push(c.dmisses);
+        }
+        now += machine_after - machine_before;
+    }
+
+    SimReport::from_samples(
+        &mut latencies_us,
+        &imisses,
+        &dmisses,
+        drops,
+        cfg.duration_s,
+        batches,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{ConstantSource, PoissonSource, TrafficSource};
+    use cachesim::MachineConfig;
+    use ldlp::synth::paper_stack;
+    use ldlp::{BatchPolicy, Discipline, StackEngine};
+
+    fn engine(d: Discipline, seed: u64) -> StackEngine {
+        let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), seed);
+        StackEngine::new(m, layers, d)
+    }
+
+    #[test]
+    fn light_load_latency_is_the_service_time() {
+        // 100 msgs/s: every message is processed alone, immediately.
+        let mut e = engine(Discipline::Conventional, 1);
+        let arrivals = ConstantSource::new(0.01, 552).take_until(0.5);
+        let cfg = SimConfig {
+            duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        let r = run_sim(&mut e, &arrivals, &cfg);
+        assert_eq!(r.completed, 49);
+        assert_eq!(r.drops, 0);
+        // Service time: 5 x 1652 instruction cycles + ~1000 misses x 20
+        // at 100 MHz => roughly 280 us; queueing is zero.
+        assert!(
+            (200.0..400.0).contains(&r.mean_latency_us),
+            "latency {} us",
+            r.mean_latency_us
+        );
+        assert!((r.mean_batch - 1.0).abs() < 1e-9, "no batching at light load");
+    }
+
+    #[test]
+    fn overload_fills_buffer_and_drops() {
+        // Conventional saturates near 3500 msg/s; at 8000 it must drop.
+        let mut e = engine(Discipline::Conventional, 1);
+        let arrivals = PoissonSource::new(8000.0, 552, 3).take_until(0.5);
+        let cfg = SimConfig {
+            duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        let r = run_sim(&mut e, &arrivals, &cfg);
+        assert!(r.drops > 0, "expected drops at 2x capacity");
+        // Latency is bounded by the 500-packet buffer (~500 x 285 us).
+        assert!(r.max_latency_us < 500.0 * 400.0);
+        assert!(r.mean_latency_us > 10_000.0, "deep queueing expected");
+    }
+
+    #[test]
+    fn ldlp_sustains_loads_conventional_cannot() {
+        let arrivals = PoissonSource::new(8000.0, 552, 3).take_until(0.5);
+        let cfg = SimConfig {
+            duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        let mut conv = engine(Discipline::Conventional, 1);
+        let rc = run_sim(&mut conv, &arrivals, &cfg);
+        let mut ldlp = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 1);
+        let rl = run_sim(&mut ldlp, &arrivals, &cfg);
+        assert!(rl.drops == 0, "LDLP should keep up at 8000/s, dropped {}", rl.drops);
+        assert!(rl.throughput > rc.throughput);
+        assert!(
+            rl.mean_latency_us < rc.mean_latency_us / 10.0,
+            "LDLP {} us vs conventional {} us",
+            rl.mean_latency_us,
+            rc.mean_latency_us
+        );
+        assert!(rl.mean_imiss < rc.mean_imiss / 2.0);
+        assert!(rl.mean_batch > 2.0, "batching should engage under load");
+    }
+
+    #[test]
+    fn empty_arrivals_yield_empty_report() {
+        let mut e = engine(Discipline::Conventional, 1);
+        let r = run_sim(&mut e, &[], &SimConfig::default());
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.drops, 0);
+    }
+
+    #[test]
+    fn batch_sizes_respect_the_policy_cap() {
+        let mut e = engine(Discipline::Ldlp(BatchPolicy::Fixed(4)), 1);
+        let arrivals = PoissonSource::new(9000.0, 552, 9).take_until(0.2);
+        let cfg = SimConfig {
+            duration_s: 0.2,
+            ..SimConfig::default()
+        };
+        let r = run_sim(&mut e, &arrivals, &cfg);
+        assert!(r.mean_batch <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let arrivals = PoissonSource::new(4000.0, 552, 5).take_until(0.2);
+        let cfg = SimConfig {
+            duration_s: 0.2,
+            ..SimConfig::default()
+        };
+        let mut e1 = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 2);
+        let r1 = run_sim(&mut e1, &arrivals, &cfg);
+        let mut e2 = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 2);
+        let r2 = run_sim(&mut e2, &arrivals, &cfg);
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.mean_latency_us, r2.mean_latency_us);
+        assert_eq!(r1.mean_imiss, r2.mean_imiss);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::traffic::{ConstantSource, TrafficSource};
+    use cachesim::MachineConfig;
+    use ldlp::synth::paper_stack;
+    use ldlp::{BatchPolicy, Discipline, StackEngine};
+
+    #[test]
+    fn traced_run_records_every_batch() {
+        let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 1);
+        let mut e = StackEngine::new(m, layers, Discipline::Ldlp(BatchPolicy::DCacheFit));
+        let arrivals = ConstantSource::new(0.01, 552).take_until(0.2);
+        let mut records = Vec::new();
+        let cfg = SimConfig {
+            duration_s: 0.2,
+            ..SimConfig::default()
+        };
+        let r = run_sim_traced(&mut e, &arrivals, &cfg, Some(&mut records));
+        assert_eq!(records.len() as u64, r.completed, "light load: one batch per message");
+        assert!(records.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+        assert!(records.iter().all(|b| b.batch == 1));
+    }
+}

@@ -1,0 +1,221 @@
+//! Statistics: latency distributions, per-message miss averages, and a
+//! Hurst-parameter estimator for validating the self-similar source.
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Messages fully processed.
+    pub completed: u64,
+    /// Arrivals dropped because the NIC buffer was full.
+    pub drops: u64,
+    /// Run length in seconds (the span arrivals were drawn over).
+    pub duration_s: f64,
+    /// Mean latency (arrival to last-layer completion) in microseconds.
+    pub mean_latency_us: f64,
+    /// Median latency in microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Largest observed latency in microseconds.
+    pub max_latency_us: f64,
+    /// Mean instruction-cache misses per message.
+    pub mean_imiss: f64,
+    /// Mean data-cache misses per message.
+    pub mean_dmiss: f64,
+    /// Completed messages per second.
+    pub throughput: f64,
+    /// Mean batch size over all processed batches.
+    pub mean_batch: f64,
+    /// Standard deviation of `mean_latency_us` across the averaged runs
+    /// (0 for a single run; populated by [`SimReport::average`]).
+    pub latency_std_us: f64,
+    /// Standard deviation of `mean_imiss` across the averaged runs.
+    pub imiss_std: f64,
+}
+
+impl SimReport {
+    /// Builds a report from raw per-message observations.
+    pub fn from_samples(
+        latencies_us: &mut [f64],
+        imisses: &[u64],
+        dmisses: &[u64],
+        drops: u64,
+        duration_s: f64,
+        batches: u64,
+    ) -> SimReport {
+        let n = latencies_us.len();
+        if n == 0 {
+            return SimReport {
+                drops,
+                duration_s,
+                ..SimReport::default()
+            };
+        }
+        latencies_us.sort_by(|a, b| a.total_cmp(b));
+        let mean = latencies_us.iter().sum::<f64>() / n as f64;
+        SimReport {
+            completed: n as u64,
+            drops,
+            duration_s,
+            mean_latency_us: mean,
+            p50_latency_us: percentile(latencies_us, 0.50),
+            p99_latency_us: percentile(latencies_us, 0.99),
+            max_latency_us: *latencies_us.last().expect("n > 0"),
+            mean_imiss: imisses.iter().sum::<u64>() as f64 / n as f64,
+            mean_dmiss: dmisses.iter().sum::<u64>() as f64 / n as f64,
+            throughput: n as f64 / duration_s,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                n as f64 / batches as f64
+            },
+            latency_std_us: 0.0,
+            imiss_std: 0.0,
+        }
+    }
+
+    /// Averages several reports (e.g. over random placements), weighting
+    /// each run equally as the paper does.
+    pub fn average(reports: &[SimReport]) -> SimReport {
+        let n = reports.len().max(1) as f64;
+        let sum = |f: fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let std = |f: fn(&SimReport) -> f64| {
+            let mean = reports.iter().map(f).sum::<f64>() / n;
+            (reports.iter().map(|r| (f(r) - mean).powi(2)).sum::<f64>() / n).sqrt()
+        };
+        SimReport {
+            completed: (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n) as u64,
+            drops: (reports.iter().map(|r| r.drops).sum::<u64>() as f64 / n) as u64,
+            duration_s: sum(|r| r.duration_s),
+            mean_latency_us: sum(|r| r.mean_latency_us),
+            p50_latency_us: sum(|r| r.p50_latency_us),
+            p99_latency_us: sum(|r| r.p99_latency_us),
+            max_latency_us: sum(|r| r.max_latency_us),
+            mean_imiss: sum(|r| r.mean_imiss),
+            mean_dmiss: sum(|r| r.mean_dmiss),
+            throughput: sum(|r| r.throughput),
+            mean_batch: sum(|r| r.mean_batch),
+            latency_std_us: std(|r| r.mean_latency_us),
+            imiss_std: std(|r| r.mean_imiss),
+        }
+    }
+}
+
+/// Percentile of an ascending-sorted slice, `q` in [0, 1].
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Estimates the Hurst parameter of a count process by the
+/// aggregated-variance method: for self-similar traffic the variance of
+/// the aggregated series at block size `m` scales as `m^(2H-2)`; a
+/// least-squares fit of `log Var(m)` against `log m` gives `H`.
+pub fn estimate_hurst(counts: &[f64]) -> f64 {
+    assert!(counts.len() >= 64, "need a reasonably long count series");
+    let mean_all = counts.iter().sum::<f64>() / counts.len() as f64;
+    let mut points = Vec::new();
+    let mut m = 1usize;
+    while counts.len() / m >= 16 {
+        let blocks = counts.len() / m;
+        let mut var = 0.0;
+        for b in 0..blocks {
+            let s: f64 = counts[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64;
+            var += (s - mean_all).powi(2);
+        }
+        var /= blocks as f64;
+        if var > 0.0 {
+            points.push(((m as f64).ln(), var.ln()));
+        }
+        m *= 2;
+    }
+    // Least-squares slope of log Var vs log m; H = 1 + slope / 2.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    1.0 + slope / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{PoissonSource, SelfSimilarSource, TrafficSource};
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_from_samples() {
+        let mut lat = vec![3.0, 1.0, 2.0];
+        let r = SimReport::from_samples(&mut lat, &[10, 20, 30], &[1, 2, 3], 5, 1.0, 2);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.drops, 5);
+        assert_eq!(r.mean_latency_us, 2.0);
+        assert_eq!(r.p50_latency_us, 2.0);
+        assert_eq!(r.max_latency_us, 3.0);
+        assert_eq!(r.mean_imiss, 20.0);
+        assert_eq!(r.throughput, 3.0);
+        assert_eq!(r.mean_batch, 1.5);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport::from_samples(&mut [], &[], &[], 7, 1.0, 0);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.drops, 7);
+        assert_eq!(r.mean_latency_us, 0.0);
+    }
+
+    #[test]
+    fn averaging_reports() {
+        let a = SimReport {
+            mean_latency_us: 10.0,
+            completed: 100,
+            ..SimReport::default()
+        };
+        let b = SimReport {
+            mean_latency_us: 30.0,
+            completed: 200,
+            ..SimReport::default()
+        };
+        let avg = SimReport::average(&[a, b]);
+        assert_eq!(avg.mean_latency_us, 20.0);
+        assert_eq!(avg.completed, 150);
+        assert_eq!(avg.latency_std_us, 10.0, "population std of 10 and 30");
+    }
+
+    fn count_series(arrivals: &[crate::traffic::Arrival], bin_s: f64, duration: f64) -> Vec<f64> {
+        let bins = (duration / bin_s) as usize;
+        let mut counts = vec![0.0; bins];
+        for a in arrivals {
+            let b = (a.time_s / bin_s) as usize;
+            if b < bins {
+                counts[b] += 1.0;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn hurst_separates_poisson_from_self_similar() {
+        let poisson = PoissonSource::new(2000.0, 552, 2).take_until(60.0);
+        let selfsim = SelfSimilarSource::bellcore_like(2).take_until(60.0);
+        let hp = estimate_hurst(&count_series(&poisson, 0.01, 60.0));
+        let hs = estimate_hurst(&count_series(&selfsim, 0.01, 60.0));
+        assert!(hp < 0.65, "poisson H estimate {hp} should be near 0.5");
+        assert!(hs > 0.7, "self-similar H estimate {hs} should be near 0.8");
+        assert!(hs > hp + 0.1);
+    }
+}

@@ -1,0 +1,108 @@
+//! A DNS server behind the full network stack — the paper's first-listed
+//! small-message protocol, end to end.
+//!
+//! Functionally: queries travel client -> Ethernet -> IPv4 -> UDP ->
+//! DNS server and back, with ARP resolution and checksums, over an
+//! in-process link. Performance: the same query load through the
+//! simulated resolver stack, conventional vs. LDLP.
+//!
+//! Run with: `cargo run --release --example dns_server`
+
+use cachesim::MachineConfig;
+use ldlp::synth::stack_with;
+use ldlp::{BatchPolicy, Discipline, StackEngine};
+use netstack::iface::{Channel, Interface};
+use netstack::tcp::machine::{TcpConfig, TcpStack};
+use netstack::wire::ethernet::EthernetAddr;
+use netstack::wire::ipv4::Ipv4Addr;
+use signaling::dns::{DnsMessage, DnsServer, Rcode};
+use simnet::traffic::{PoissonSource, TrafficSource};
+use simnet::{run_sim, SimConfig};
+
+fn host(n: u8) -> Interface {
+    Interface::new(
+        EthernetAddr([2, 0, 0, 0, 0, n]),
+        Ipv4Addr::new(192, 168, 69, n),
+        TcpStack::new(TcpConfig::default()),
+    )
+}
+
+fn main() {
+    // --- Functional half: DNS over UDP over IPv4 over Ethernet. -------
+    let (mut cd, mut sd) = Channel::pair();
+    let mut client = host(1);
+    let mut server_host = host(2);
+    let mut dns = DnsServer::new();
+    dns.add_record("switch.example.net", Ipv4Addr::new(192, 168, 69, 7));
+    dns.add_record("switch.example.net", Ipv4Addr::new(192, 168, 69, 8));
+
+    server_host.udp_bind(53).expect("bind :53");
+    client.udp_bind(4000).expect("client port");
+
+    let names = ["switch.example.net", "missing.example.net", "switch.example.net"];
+    for (i, name) in names.iter().enumerate() {
+        let server_ip = server_host.ip();
+        let q = DnsMessage::query(i as u16, name).encode();
+        client.udp_send(&mut cd, 4000, server_ip, 53, &q);
+    }
+    // Pump the link; the server application answers each datagram.
+    for _ in 0..8 {
+        client.poll(&mut cd, 0);
+        server_host.poll(&mut sd, 0);
+        while let Some(dg) = server_host.udp_recv(53) {
+            let reply = dns.handle(&dg.payload);
+            server_host.udp_send(&mut sd, 53, dg.src_addr, dg.src_port, &reply);
+        }
+    }
+    let mut answered = 0;
+    let mut nx = 0;
+    while let Some(dg) = client.udp_recv(4000) {
+        let m = DnsMessage::decode(&dg.payload).expect("valid response");
+        match m.rcode {
+            Rcode::NoError => {
+                answered += 1;
+                assert_eq!(m.answers.len(), 2);
+            }
+            Rcode::NxDomain => nx += 1,
+            other => panic!("unexpected rcode {other:?}"),
+        }
+    }
+    println!(
+        "functional: {answered} answered, {nx} NXDOMAIN over the full stack \
+         (server stats: {:?})\n",
+        dns.stats()
+    );
+    assert_eq!((answered, nx), (2, 1));
+
+    // --- Performance half: a resolver under load. ---------------------
+    // A 90s resolver stack: driver, IP, UDP, and a name-lookup layer
+    // with its hash/trie code — ~26 KB against an 8 KB I-cache. Queries
+    // are ~50 bytes, answers ~80: textbook small messages.
+    println!("resolver under Poisson query load (52-byte queries):");
+    println!(
+        "{:>9}  {:>12} {:>7}   {:>12} {:>7} {:>6}",
+        "queries/s", "conv lat", "drops", "LDLP lat", "drops", "batch"
+    );
+    for rate in [2000.0, 4000.0, 6000.0, 8000.0] {
+        let arrivals = PoissonSource::new(rate, 52, 5).take_until(0.5);
+        let cfg = SimConfig {
+            duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        let machine = MachineConfig::synthetic_benchmark();
+        let (m, layers) = stack_with(machine, 9, 4, 6656, 512);
+        let mut conv = StackEngine::new(m, layers, Discipline::Conventional);
+        let rc = run_sim(&mut conv, &arrivals, &cfg);
+        let (m, layers) = stack_with(machine, 9, 4, 6656, 512);
+        let mut ldlp = StackEngine::new(m, layers, Discipline::Ldlp(BatchPolicy::DCacheFit));
+        let rl = run_sim(&mut ldlp, &arrivals, &cfg);
+        println!(
+            "{:>9}  {:>10.0}us {:>7}   {:>10.0}us {:>7} {:>6.1}",
+            rate, rc.mean_latency_us, rc.drops, rl.mean_latency_us, rl.drops, rl.mean_batch
+        );
+    }
+    println!(
+        "\nA 50-byte query against 26 KB of resolver code: the purest\n\
+         small-message regime in the paper's opening list."
+    );
+}

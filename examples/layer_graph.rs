@@ -1,0 +1,175 @@
+//! The functional LDLP runtime on real packets.
+//!
+//! Builds the Section 3.2 layer graph out of *real* protocol code — the
+//! `netstack` wire parsers — and runs the same frames through it under
+//! both schedules. The delivered results are identical; the execution
+//! order (and therefore the instruction locality) is what changes: the
+//! activation log shows per-message interleaving under the conventional
+//! schedule and long per-layer runs under LDLP.
+//!
+//! Run with: `cargo run --release --example layer_graph`
+
+use ldlp::graph::{activation_runs, Emitter, GraphLayer, LayerGraph, NodeId, Schedule};
+use netstack::wire::ethernet::{EtherType, EthernetAddr, EthernetRepr};
+use netstack::wire::ipv4::{Ipv4Addr, Ipv4Repr, Protocol};
+use netstack::wire::udp::UdpRepr;
+
+/// A raw frame moving up the stack; headers are stripped as it climbs.
+#[derive(Debug, Clone)]
+struct Packet {
+    bytes: Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+}
+
+/// Ethernet layer: parses the frame, drops non-IPv4, strips the header.
+struct EthLayer;
+impl GraphLayer<Packet> for EthLayer {
+    fn name(&self) -> &str {
+        "ethernet"
+    }
+    fn process(&mut self, mut pkt: Packet, out: &mut Emitter<Packet>) {
+        match EthernetRepr::parse(&pkt.bytes) {
+            Ok((eth, off)) if eth.ethertype == EtherType::Ipv4 => {
+                pkt.bytes.drain(..off);
+                out.up(0, pkt);
+            }
+            _ => {} // non-IP or malformed: dropped
+        }
+    }
+}
+
+/// IP layer: validates the header checksum, demultiplexes UDP (port 0)
+/// from ICMP (port 1).
+struct IpLayer;
+impl GraphLayer<Packet> for IpLayer {
+    fn name(&self) -> &str {
+        "ipv4"
+    }
+    fn process(&mut self, mut pkt: Packet, out: &mut Emitter<Packet>) {
+        match Ipv4Repr::parse(&pkt.bytes) {
+            Ok((ip, off)) => {
+                pkt.src = ip.src;
+                pkt.dst = ip.dst;
+                pkt.bytes.drain(..off);
+                pkt.bytes.truncate(ip.payload_len);
+                match ip.protocol {
+                    Protocol::Udp => out.up(0, pkt),
+                    Protocol::Icmp => out.up(1, pkt),
+                    _ => {}
+                }
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// UDP layer: verifies the checksum and delivers the payload.
+struct UdpLayer;
+impl GraphLayer<Packet> for UdpLayer {
+    fn name(&self) -> &str {
+        "udp"
+    }
+    fn process(&mut self, mut pkt: Packet, out: &mut Emitter<Packet>) {
+        match UdpRepr::parse(&pkt.bytes, pkt.src, pkt.dst) {
+            Ok((_udp, off)) => {
+                pkt.bytes.drain(..off);
+                out.deliver(pkt);
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// ICMP sink: just counts.
+struct IcmpLayer;
+impl GraphLayer<Packet> for IcmpLayer {
+    fn name(&self) -> &str {
+        "icmp"
+    }
+    fn process(&mut self, pkt: Packet, out: &mut Emitter<Packet>) {
+        out.deliver(pkt);
+    }
+}
+
+fn build(schedule: Schedule) -> (LayerGraph<Packet>, [NodeId; 4]) {
+    let mut g = LayerGraph::new(schedule);
+    let udp = g.add_layer(Box::new(UdpLayer), vec![]);
+    let icmp = g.add_layer(Box::new(IcmpLayer), vec![]);
+    let ip = g.add_layer(Box::new(IpLayer), vec![udp, icmp]);
+    let eth = g.add_layer(Box::new(EthLayer), vec![ip]);
+    g.set_entry(eth);
+    (g, [eth, ip, udp, icmp])
+}
+
+/// A well-formed UDP-in-IP-in-Ethernet frame carrying `payload`.
+fn udp_frame(n: u16, payload: &[u8]) -> Packet {
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let udp = UdpRepr {
+        src_port: 1000 + n,
+        dst_port: 53,
+    }
+    .packet(src, dst, payload);
+    let ip = Ipv4Repr {
+        src,
+        dst,
+        protocol: Protocol::Udp,
+        ttl: 64,
+        ident: n,
+        dont_frag: true,
+        payload_len: udp.len(),
+    }
+    .packet(&udp);
+    let eth = EthernetRepr {
+        dst: EthernetAddr([2, 0, 0, 0, 0, 2]),
+        src: EthernetAddr([2, 0, 0, 0, 0, 1]),
+        ethertype: EtherType::Ipv4,
+    }
+    .frame(&ip);
+    Packet {
+        bytes: eth,
+        src: Ipv4Addr::UNSPECIFIED,
+        dst: Ipv4Addr::UNSPECIFIED,
+    }
+}
+
+fn main() {
+    let n = 16;
+    for (label, schedule) in [
+        ("conventional", Schedule::Conventional),
+        ("LDLP", Schedule::Ldlp { entry_batch: 14 }),
+    ] {
+        let (mut g, [eth, ip, udp, _icmp]) = build(schedule);
+        for i in 0..n {
+            g.inject(udp_frame(i, format!("query #{i}").as_bytes()));
+        }
+        let delivered = g.run();
+        let runs = activation_runs(g.log());
+        println!(
+            "{label:>12}: {} delivered, activations eth/ip/udp = {}/{}/{}, \
+             {} activation runs ({})",
+            delivered.len(),
+            g.stats().processed[eth],
+            g.stats().processed[ip],
+            g.stats().processed[udp],
+            runs,
+            if runs <= 6 {
+                "blocked: each layer's code loaded once per batch"
+            } else {
+                "interleaved: every message reloads every layer"
+            },
+        );
+        // Same payloads arrive either way.
+        assert_eq!(delivered.len(), n as usize);
+        for (_, pkt) in &delivered {
+            assert!(pkt.bytes.starts_with(b"query #"));
+        }
+    }
+    println!(
+        "\nSame layer code, same frames, same deliveries — only the schedule\n\
+         differs. Under LDLP the activation log collapses from {} short runs\n\
+         to one long run per layer: that is the whole trick.",
+        3 * n
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the paper's headline result in ~60 lines.
+//!
+//! Builds the SIGCOMM '96 synthetic benchmark — a five-layer protocol
+//! stack whose 30 KB of code dwarfs the 8 KB instruction cache — and
+//! processes the same Poisson message stream under conventional and
+//! locality-driven (LDLP) scheduling.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cachesim::MachineConfig;
+use ldlp::synth::paper_stack;
+use ldlp::{BatchPolicy, Discipline, StackEngine};
+use simnet::traffic::{PoissonSource, TrafficSource};
+use simnet::{run_sim, SimConfig};
+
+fn main() {
+    // The paper's machine: 100 MHz, 8 KB direct-mapped I/D caches,
+    // 20-cycle miss penalty.
+    let machine = MachineConfig::synthetic_benchmark();
+    println!(
+        "Machine: {} MHz, {} KB I-cache, {}-cycle miss penalty",
+        machine.clock_mhz,
+        machine.icache.size_bytes / 1024,
+        machine.read_miss_penalty
+    );
+    println!("Stack: 5 layers x 6 KB code — 30 KB working set vs 8 KB cache\n");
+
+    println!(
+        "{:>10}  {:>12} {:>9} {:>7}   {:>12} {:>9} {:>7} {:>6}",
+        "load", "conv lat", "I-miss", "drops", "LDLP lat", "I-miss", "drops", "batch"
+    );
+    for rate in [1000.0, 3000.0, 5000.0, 7000.0, 9000.0] {
+        // The identical arrival stream for both schedules.
+        let arrivals = PoissonSource::new(rate, 552, 42).take_until(1.0);
+        let cfg = SimConfig::default();
+
+        let (m, layers) = paper_stack(machine, 7);
+        let mut conv = StackEngine::new(m, layers, Discipline::Conventional);
+        let rc = run_sim(&mut conv, &arrivals, &cfg);
+
+        let (m, layers) = paper_stack(machine, 7);
+        let mut ldlp = StackEngine::new(m, layers, Discipline::Ldlp(BatchPolicy::DCacheFit));
+        let rl = run_sim(&mut ldlp, &arrivals, &cfg);
+
+        println!(
+            "{:>7}/s  {:>10.0}us {:>9.0} {:>7}   {:>10.0}us {:>9.0} {:>7} {:>6.1}",
+            rate,
+            rc.mean_latency_us,
+            rc.mean_imiss,
+            rc.drops,
+            rl.mean_latency_us,
+            rl.mean_imiss,
+            rl.drops,
+            rl.mean_batch,
+        );
+    }
+
+    println!(
+        "\nUnder light load both schedules behave identically (batches of 1).\n\
+         As load rises, LDLP amortizes each layer's instruction-cache refill\n\
+         over the batch: misses per message fall, throughput rises, and\n\
+         latency *drops* because queueing shrinks — while the conventional\n\
+         schedule saturates and fills its 500-packet buffer."
+    );
+}

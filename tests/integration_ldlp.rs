@@ -1,0 +1,160 @@
+//! Cross-crate integration tests of the scheduling results: the shapes of
+//! Figures 5–7 must hold when the full pipeline (traffic source → event
+//! loop → engine → cache model) runs end to end.
+
+use cachesim::MachineConfig;
+use ldlp::blocking::BlockingModel;
+use ldlp::synth::paper_stack;
+use ldlp::{BatchPolicy, Discipline, StackEngine};
+use simnet::stats::SimReport;
+use simnet::traffic::{PoissonSource, SelfSimilarSource, TrafficSource};
+use simnet::{run_sim, SimConfig};
+
+fn run(discipline: Discipline, rate: f64, seed: u64, duration: f64) -> SimReport {
+    let arrivals = PoissonSource::new(rate, 552, seed).take_until(duration);
+    let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), seed);
+    let mut engine = StackEngine::new(m, layers, discipline);
+    run_sim(
+        &mut engine,
+        &arrivals,
+        &SimConfig {
+            duration_s: duration,
+            ..SimConfig::default()
+        },
+    )
+}
+
+/// Figure 5's shape: conventional instruction misses are flat in load;
+/// LDLP's fall monotonically (within noise) and flatten at the batch cap.
+#[test]
+fn figure5_shape_holds() {
+    let conv_low = run(Discipline::Conventional, 1000.0, 1, 0.3);
+    let conv_high = run(Discipline::Conventional, 9000.0, 1, 0.3);
+    assert!(
+        (conv_low.mean_imiss - conv_high.mean_imiss).abs() < 60.0,
+        "conventional misses should be load-independent: {} vs {}",
+        conv_low.mean_imiss,
+        conv_high.mean_imiss
+    );
+    assert!(conv_low.mean_imiss > 900.0, "~960 line reloads per message");
+
+    let ldlp = Discipline::Ldlp(BatchPolicy::DCacheFit);
+    let l3 = run(ldlp, 3000.0, 1, 0.3);
+    let l6 = run(ldlp, 6000.0, 1, 0.3);
+    let l95 = run(ldlp, 9500.0, 1, 0.3);
+    assert!(
+        l3.mean_imiss > l6.mean_imiss && l6.mean_imiss > l95.mean_imiss,
+        "LDLP instruction misses fall with load: {} {} {}",
+        l3.mean_imiss,
+        l6.mean_imiss,
+        l95.mean_imiss
+    );
+    // Data misses rise with batching but stay second-order.
+    assert!(l95.mean_dmiss > l3.mean_dmiss);
+    assert!(l95.mean_dmiss < l95.mean_imiss + 200.0);
+    // The batch cap binds at the top of the range.
+    assert!(l95.mean_batch > 8.0, "batching engaged: {}", l95.mean_batch);
+    assert!(l95.mean_batch <= 14.0 + 1e-9, "D-cache-fit cap respected");
+}
+
+/// Figure 6's shape: equal latency at light load; conventional saturates
+/// in the middle of the range while LDLP still sustains ~9500/s.
+#[test]
+fn figure6_shape_holds() {
+    let light_conv = run(Discipline::Conventional, 500.0, 2, 0.3);
+    let light_ldlp = run(Discipline::Ldlp(BatchPolicy::DCacheFit), 500.0, 2, 0.3);
+    let ratio = light_ldlp.mean_latency_us / light_conv.mean_latency_us;
+    assert!(
+        (0.9..1.15).contains(&ratio),
+        "light-load latencies should be close, ratio {ratio}"
+    );
+
+    let heavy_conv = run(Discipline::Conventional, 8000.0, 2, 0.3);
+    let heavy_ldlp = run(Discipline::Ldlp(BatchPolicy::DCacheFit), 8000.0, 2, 0.3);
+    assert!(heavy_conv.drops > 0, "conventional saturates at 8000/s");
+    assert_eq!(heavy_ldlp.drops, 0, "LDLP sustains 8000/s");
+    assert!(heavy_ldlp.mean_latency_us * 20.0 < heavy_conv.mean_latency_us);
+    // The 500-packet buffer bounds conventional latency near 100 ms.
+    assert!(heavy_conv.mean_latency_us < 200_000.0);
+}
+
+/// Figure 7's shape: with self-similar trace-like traffic, conventional
+/// collapses at low clock rates while LDLP batches and survives.
+#[test]
+fn figure7_shape_holds() {
+    let duration = 2.0;
+    let mut results = Vec::new();
+    for mhz in [20.0, 80.0] {
+        let cfg = MachineConfig::synthetic_benchmark().with_clock_mhz(mhz);
+        let arrivals = SelfSimilarSource::bellcore_like(3).take_until(duration);
+        let run_one = |d: Discipline| {
+            let (m, layers) = paper_stack(cfg, 3);
+            let mut e = StackEngine::new(m, layers, d);
+            run_sim(
+                &mut e,
+                &arrivals,
+                &SimConfig {
+                    duration_s: duration,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        results.push((
+            run_one(Discipline::Conventional),
+            run_one(Discipline::Ldlp(BatchPolicy::DCacheFit)),
+        ));
+    }
+    let (conv20, ldlp20) = &results[0];
+    let (conv80, ldlp80) = &results[1];
+    // Fast CPU: both fine and similar.
+    assert!(conv80.mean_latency_us < 5_000.0);
+    assert!(ldlp80.mean_latency_us <= conv80.mean_latency_us * 1.1);
+    // Slow CPU: conventional collapses; LDLP degrades gracefully.
+    assert!(
+        conv20.mean_latency_us > 20.0 * ldlp20.mean_latency_us,
+        "at 20 MHz conventional {} should dwarf LDLP {}",
+        conv20.mean_latency_us,
+        ldlp20.mean_latency_us
+    );
+    assert!(ldlp20.mean_batch > 1.2, "LDLP batches at 20 MHz");
+}
+
+/// The analytical blocking model and the simulation agree about the
+/// benefit: predicted misses at the optimum are close to the simulated
+/// LDLP misses at saturation.
+#[test]
+fn blocking_model_matches_simulation() {
+    let model = BlockingModel::paper_synthetic();
+    let predicted = model.misses_per_message(model.optimal_blocking_factor(64));
+    let simulated = run(Discipline::Ldlp(BatchPolicy::DCacheFit), 9500.0, 4, 0.3);
+    let total = simulated.mean_imiss + simulated.mean_dmiss;
+    assert!(
+        (total - predicted).abs() / predicted < 0.6,
+        "model {predicted} vs simulated {total}"
+    );
+}
+
+/// ILP helps data-heavy large messages but not small-message stacks —
+/// the paper's motivating contrast (Figure 4).
+#[test]
+fn ilp_does_not_rescue_small_messages() {
+    let ilp = run(Discipline::Ilp, 5000.0, 5, 0.3);
+    let conv = run(Discipline::Conventional, 5000.0, 5, 0.3);
+    let ldlp = run(Discipline::Ldlp(BatchPolicy::DCacheFit), 5000.0, 5, 0.3);
+    // ILP's instruction misses equal conventional's: the code still
+    // cycles through the cache once per message.
+    assert!((ilp.mean_imiss - conv.mean_imiss).abs() < 50.0);
+    // LDLP is the one that actually cuts them.
+    assert!(ldlp.mean_imiss < conv.mean_imiss / 1.5);
+}
+
+/// Determinism across the whole pipeline: same seeds, same report.
+#[test]
+fn end_to_end_determinism() {
+    let a = run(Discipline::Ldlp(BatchPolicy::DCacheFit), 7000.0, 9, 0.2);
+    let b = run(Discipline::Ldlp(BatchPolicy::DCacheFit), 7000.0, 9, 0.2);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.mean_latency_us, b.mean_latency_us);
+    assert_eq!(a.mean_imiss, b.mean_imiss);
+    assert_eq!(a.drops, b.drops);
+}

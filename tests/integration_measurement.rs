@@ -1,0 +1,156 @@
+//! Integration tests of the measurement pipeline: the instrumented stack
+//! trace must regenerate the paper's Tables 1–3 and Figure 1, and the
+//! checksum/dilution analyses must reproduce Section 5's claims.
+
+use memtrace::dilution::code_dilution;
+use memtrace::phases::phase_summaries;
+use memtrace::workingset::{line_size_sweep, working_set};
+use netstack::checksum::{ELABORATE_FOOTPRINT_BYTES, SIMPLE_FOOTPRINT_BYTES};
+use netstack::footprint::{
+    build_receive_ack_trace, PAPER_CODE_BYTES, PAPER_MUT_BYTES, PAPER_RO_BYTES,
+};
+
+#[test]
+fn table1_reproduces_exactly() {
+    let ws = working_set(&build_receive_ack_trace(), 32);
+    for (li, row) in ws.rows.iter().enumerate() {
+        assert_eq!(row.code.bytes, PAPER_CODE_BYTES[li], "code, row {li}");
+        assert_eq!(row.ro_data.bytes, PAPER_RO_BYTES[li], "ro, row {li}");
+        assert_eq!(row.mut_data.bytes, PAPER_MUT_BYTES[li], "mut, row {li}");
+    }
+    // The headline numbers of Section 2.4: ~30 KB code + 5 KB RO data
+    // touched per received packet.
+    assert_eq!(ws.total.code.bytes, 30304);
+    assert_eq!(ws.total.ro_data.bytes, 5088);
+    assert_eq!(ws.total.mut_data.bytes, 3648);
+}
+
+#[test]
+fn table3_matches_paper_within_tolerance() {
+    // Every cell of Table 3 (except the N/A data cells at 4 bytes) must
+    // land within 10 percentage points of the published value.
+    let paper: [(u64, [f64; 6]); 3] = [
+        (64.0 as u64, [17.0, -41.0, 44.0, -28.0, 55.0, -22.0]),
+        (16, [-13.0, 73.0, -31.0, 38.0, -38.0, 23.0]),
+        (8, [-20.0, 216.0, -55.0, 81.0, -56.0, 75.0]),
+    ];
+    let trace = build_receive_ack_trace();
+    let rows = line_size_sweep(&trace, &[8, 16, 32, 64], 32);
+    for (ls, expect) in paper {
+        let r = rows.iter().find(|r| r.line_size == ls).expect("swept");
+        let measured = [
+            r.code.d_bytes_pct,
+            r.code.d_lines_pct,
+            r.ro_data.d_bytes_pct,
+            r.ro_data.d_lines_pct,
+            r.mut_data.d_bytes_pct,
+            r.mut_data.d_lines_pct,
+        ];
+        for (i, (m, e)) in measured.iter().zip(expect.iter()).enumerate() {
+            let tol = if *e > 100.0 { 25.0 } else { 10.0 };
+            assert!(
+                (m - e).abs() <= tol,
+                "line {ls}, cell {i}: measured {m:.0}% vs paper {e:.0}%"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_phase_structure() {
+    let trace = build_receive_ack_trace();
+    let phases = phase_summaries(&trace);
+    assert_eq!(phases.len(), 3);
+    let (entry, intr, exit) = (&phases[0], &phases[1], &phases[2]);
+    // Entry is by far the smallest phase; interrupt and exit carry the
+    // protocol work (paper footers: 3008 / 13664 / 18240 code bytes).
+    assert!(entry.code.bytes < 5000, "entry {}", entry.code.bytes);
+    assert!((10_000..18_000).contains(&intr.code.bytes), "intr {}", intr.code.bytes);
+    assert!((14_000..23_000).contains(&exit.code.bytes), "exit {}", exit.code.bytes);
+    // Message contents appear in phase reads/writes: the 552-byte packet
+    // is copied device->mbuf (intr) and mbuf->user (exit).
+    assert!(intr.write.bytes >= 552);
+    assert!(exit.write.bytes >= 552);
+    // Loops re-execute instructions: far more code refs than unique
+    // bytes/4 in the interrupt phase.
+    assert!(intr.code.refs > intr.code.bytes / 8);
+}
+
+#[test]
+fn memory_bandwidth_claim_of_section2() {
+    // "The processor spends ten times longer fetching protocol code from
+    // memory than moving message contents": code+RO working set vs the
+    // ~2.2 KB of message movement per packet.
+    let ws = working_set(&build_receive_ack_trace(), 32);
+    let code_and_ro = ws.total.code.bytes + ws.total.ro_data.bytes;
+    let message_io = 2200u64;
+    assert!(
+        code_and_ro > 10 * message_io,
+        "{code_and_ro} bytes of code+RO vs {message_io} of message IO"
+    );
+}
+
+#[test]
+fn dilution_near_paper_estimate() {
+    let d = code_dilution(&build_receive_ack_trace(), 32);
+    assert!(
+        (0.20..0.30).contains(&d.dilution()),
+        "dilution {:.3} should be near the paper's ~25%",
+        d.dilution()
+    );
+    // Dense layout saves about the same fraction of lines.
+    assert!((0.15..0.35).contains(&d.dense_reduction()));
+}
+
+#[test]
+fn checksum_crossover_model() {
+    // Figure 8's arithmetic: with a ~30-cycle fill penalty the cold-cache
+    // crossover sits near 900 bytes. (elaborate: 176 + 0.70n cycles,
+    // simple: 80 + 1.54n — fitted warm curves; fill = lines x penalty.)
+    let penalty = 30u64;
+    let e_fill = ELABORATE_FOOTPRINT_BYTES.div_ceil(32) * penalty;
+    let s_fill = SIMPLE_FOOTPRINT_BYTES.div_ceil(32) * penalty;
+    let e_cold = |n: u64| 176 + (0.70 * n as f64) as u64 + e_fill;
+    let s_cold = |n: u64| 80 + (1.54 * n as f64) as u64 + s_fill;
+    let crossover = (0..2000)
+        .find(|&n| e_cold(n) <= s_cold(n))
+        .expect("curves cross");
+    assert!(
+        (800..1000).contains(&crossover),
+        "crossover at {crossover}, paper ~900"
+    );
+    // Warm, the elaborate routine wins from small sizes on.
+    assert!(176 + (0.70f64 * 200.0) as u64 <= 80 + (1.54f64 * 200.0) as u64);
+}
+
+#[test]
+fn real_checksums_agree_with_each_other_at_figure8_sizes() {
+    // The cost curves are modelled, but the routines are real: verify
+    // agreement at every Figure 8 sample size.
+    let data: Vec<u8> = (0..1024u32).map(|i| (i * 37 + 11) as u8).collect();
+    for n in (0..=1000).step_by(16) {
+        assert_eq!(
+            netstack::checksum::simple(&data[..n]),
+            netstack::checksum::elaborate(&data[..n]),
+            "size {n}"
+        );
+    }
+}
+
+#[test]
+fn signaling_goal_scaled_smoke() {
+    // A short, single-seed version of experiment G1.
+    use ldlp::{BatchPolicy, Discipline, StackEngine};
+    use signaling::workload::{call_arrivals, goal_machine, signaling_stack};
+    use simnet::{run_sim, SimConfig};
+    let arrivals = call_arrivals(10_000.0, 0.02, 0.2, 11);
+    let cfg = SimConfig {
+        duration_s: 0.2,
+        ..SimConfig::default()
+    };
+    let (m, layers) = signaling_stack(goal_machine(), 11);
+    let mut ldlp = StackEngine::new(m, layers, Discipline::Ldlp(BatchPolicy::DCacheFit));
+    let r = run_sim(&mut ldlp, &arrivals, &cfg);
+    assert_eq!(r.drops, 0);
+    assert!(r.mean_latency_us < 500.0, "mean {}", r.mean_latency_us);
+}
