@@ -1,0 +1,57 @@
+//! Microbenchmark of the footprint-replay memo (`cachesim::replay`):
+//! the cost of one full LDLP layer sweep over the paper stack with a
+//! cold signature cache (every fetch walks its ~192 lines and records a
+//! transition) versus a warm one (every fetch is a table lookup).
+//!
+//! The warm/cold ratio is the apparatus speedup the memo buys each
+//! steady-state simulated batch.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use cachesim::MachineConfig;
+use ldlp::synth::paper_stack;
+
+fn bench_replay_memo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_memo");
+
+    // One conventional-schedule lap: each layer's footprint fetched once,
+    // which is exactly what the engine issues per message.
+    group.bench_function("cold_signature_cache", |b| {
+        b.iter_batched(
+            || paper_stack(MachineConfig::synthetic_benchmark(), 1),
+            |(mut m, layers)| {
+                for (li, layer) in layers.iter().enumerate() {
+                    black_box(m.fetch_code_footprint(li as u32, layer.code_lines()));
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("warm_signature_cache", |b| {
+        let (mut m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 1);
+        // Drive the schedule to its steady cycle so every transition is
+        // recorded before measurement starts.
+        for _ in 0..8 {
+            for (li, layer) in layers.iter().enumerate() {
+                m.fetch_code_footprint(li as u32, layer.code_lines());
+            }
+        }
+        b.iter(|| {
+            for (li, layer) in layers.iter().enumerate() {
+                black_box(m.fetch_code_footprint(li as u32, layer.code_lines()));
+            }
+        });
+        let stats = m.replay_stats();
+        assert!(
+            stats.hit_rate() > 0.5,
+            "warm bench should run out of the memo: {stats:?}"
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_memo);
+criterion_main!(benches);

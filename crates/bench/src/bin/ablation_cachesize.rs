@@ -8,7 +8,8 @@
 //! than is strictly necessary" — that the paper predicts will keep
 //! outgrowing caches.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::{CacheConfig, MachineConfig};
 use ldlp::synth::stack_sequential;
 use ldlp::{BatchPolicy, Discipline, StackEngine};
@@ -34,8 +35,7 @@ fn run(
     rate: f64,
     opts: &RunOpts,
 ) -> SimReport {
-    let mut reports = Vec::new();
-    for seed in 1..=opts.seeds {
+    seed_average(opts, |seed| {
         let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
         // Sequential (Cord-quality) placement isolates *capacity* effects:
         // with random placement, conflict misses keep LDLP relevant even
@@ -43,7 +43,7 @@ fn run(
         // for that experiment).
         let (m, stack) = stack_sequential(machine(cache_kb), layers, code_bytes, 256);
         let mut engine = StackEngine::new(m, stack, discipline);
-        reports.push(run_sim(
+        let report = run_sim(
             &mut engine,
             &arrivals,
             &SimConfig {
@@ -51,9 +51,10 @@ fn run(
                 pool_seed: seed,
                 ..SimConfig::default()
             },
-        ));
-    }
-    SimReport::average(&reports)
+        );
+        perf::note_replay(&engine.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -135,4 +136,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "ablation_cachesize", opts.effective_threads());
 }

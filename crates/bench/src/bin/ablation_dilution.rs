@@ -7,7 +7,8 @@
 //! (2) reruns the synthetic Figure 5/6 experiment with layers shrunk by
 //! the measured dilution, quantifying what outlining buys each schedule.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 use layout::outline::{outline, HotColdFunction};
 use ldlp::synth::stack_with;
@@ -19,8 +20,7 @@ use simnet::traffic::{PoissonSource, TrafficSource};
 use simnet::{run_sim, SimConfig};
 
 fn run(code_bytes: u64, discipline: Discipline, rate: f64, opts: &RunOpts) -> SimReport {
-    let mut reports = Vec::new();
-    for seed in 1..=opts.seeds {
+    seed_average(opts, |seed| {
         let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
         let (m, layers) = stack_with(
             MachineConfig::synthetic_benchmark(),
@@ -34,9 +34,10 @@ fn run(code_bytes: u64, discipline: Discipline, rate: f64, opts: &RunOpts) -> Si
             duration_s: opts.duration_s,
             ..SimConfig::default()
         };
-        reports.push(run_sim(&mut engine, &arrivals, &cfg));
-    }
-    SimReport::average(&reports)
+        let report = run_sim(&mut engine, &arrivals, &cfg);
+        perf::note_replay(&engine.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -141,4 +142,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "ablation_dilution", opts.effective_threads());
 }

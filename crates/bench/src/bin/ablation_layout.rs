@@ -8,6 +8,7 @@
 //! simulated annealing, scored by within-layer cache conflicts and by the
 //! simulated per-message miss cost of one receive path.
 
+use bench::sweep::per_seed;
 use bench::{print_table, write_csv, RunOpts};
 use cachesim::{CacheConfig, Machine, MachineConfig, Region};
 use layout::anneal::{anneal_place, AnnealConfig};
@@ -90,12 +91,14 @@ fn main() {
     let mut rand_conf = 0u64;
     let mut rand_cold = 0u64;
     let mut rand_steady = 0u64;
-    for seed in 1..=opts.seeds {
+    for (conf, cold, steady) in per_seed(&opts, |seed| {
         let placed = random_place(&sizes, Region::new(0, 4 << 20), &cache, seed);
-        rand_conf += layer_conflicts(&placed, &cache);
         let (c, s) = path_misses(&placed, machine);
-        rand_cold += c;
-        rand_steady += s;
+        (layer_conflicts(&placed, &cache), c, s)
+    }) {
+        rand_conf += conf;
+        rand_cold += cold;
+        rand_steady += steady;
     }
     rows.push(vec![
         format!("random (avg of {})", opts.seeds),
@@ -110,30 +113,31 @@ fn main() {
         (rand_steady / opts.seeds).to_string(),
     ]);
 
-    let mut eval = |name: &str, placed: Vec<PlacedFunction>| {
-        let conflicts = layer_conflicts(&placed, &cache);
-        let (cold, steady) = path_misses(&placed, machine);
-        rows.push(vec![
-            name.to_string(),
-            conflicts.to_string(),
-            cold.to_string(),
-            steady.to_string(),
-        ]);
-        csv.push(vec![
-            name.to_string(),
-            conflicts.to_string(),
-            cold.to_string(),
-            steady.to_string(),
-        ]);
-    };
+    {
+        let mut eval = |name: &str, placed: Vec<PlacedFunction>| {
+            let conflicts = layer_conflicts(&placed, &cache);
+            let (cold, steady) = path_misses(&placed, machine);
+            rows.push(vec![
+                name.to_string(),
+                conflicts.to_string(),
+                cold.to_string(),
+                steady.to_string(),
+            ]);
+            csv.push(vec![
+                name.to_string(),
+                conflicts.to_string(),
+                cold.to_string(),
+                steady.to_string(),
+            ]);
+        };
 
-    eval("sequential (link order)", sequential_place(&sizes, 0x1000, &cache));
-    eval("greedy (Cord-style)", greedy_place(&sizes, 0x1000, &cache, 1));
-    eval(
-        "annealed",
-        anneal_place(&sizes, 0x1000, &cache, 1, AnnealConfig::default()),
-    );
-    drop(eval);
+        eval("sequential (link order)", sequential_place(&sizes, 0x1000, &cache));
+        eval("greedy (Cord-style)", greedy_place(&sizes, 0x1000, &cache, 1));
+        eval(
+            "annealed",
+            anneal_place(&sizes, 0x1000, &cache, 1, AnnealConfig::default()),
+        );
+    }
 
     print_table(
         &["placement", "layer conflicts", "cold misses", "LDLP batch refetches"],

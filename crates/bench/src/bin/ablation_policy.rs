@@ -5,7 +5,8 @@
 //! block sizes — against the Lam-style analytical optimum from
 //! `ldlp::blocking`.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 use ldlp::blocking::BlockingModel;
 use ldlp::synth::paper_stack;
@@ -15,8 +16,7 @@ use simnet::traffic::{PoissonSource, TrafficSource};
 use simnet::{run_sim, SimConfig};
 
 fn run(policy: BatchPolicy, rate: f64, opts: &RunOpts) -> SimReport {
-    let mut reports = Vec::new();
-    for seed in 1..=opts.seeds {
+    seed_average(opts, |seed| {
         let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
         let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), seed);
         let mut engine = StackEngine::new(m, layers, Discipline::Ldlp(policy));
@@ -24,9 +24,10 @@ fn run(policy: BatchPolicy, rate: f64, opts: &RunOpts) -> SimReport {
             duration_s: opts.duration_s,
             ..SimConfig::default()
         };
-        reports.push(run_sim(&mut engine, &arrivals, &cfg));
-    }
-    SimReport::average(&reports)
+        let report = run_sim(&mut engine, &arrivals, &cfg);
+        perf::note_replay(&engine.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -94,4 +95,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "ablation_policy", opts.effective_threads());
 }

@@ -11,7 +11,8 @@
 //! having already removed most fetches, gains little. Prefetch and LDLP
 //! attack the same cost from opposite ends.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 use ldlp::synth::paper_stack;
 use ldlp::{BatchPolicy, Discipline, StackEngine};
@@ -20,21 +21,21 @@ use simnet::traffic::{PoissonSource, TrafficSource};
 use simnet::{run_sim, SimConfig};
 
 fn run(cfg: MachineConfig, d: Discipline, rate: f64, opts: &RunOpts) -> SimReport {
-    let mut reports = Vec::new();
-    for seed in 1..=opts.seeds {
+    seed_average(opts, |seed| {
         let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
         let (m, layers) = paper_stack(cfg, seed);
         let mut engine = StackEngine::new(m, layers, d);
-        reports.push(run_sim(
+        let report = run_sim(
             &mut engine,
             &arrivals,
             &SimConfig {
                 duration_s: opts.duration_s,
                 ..SimConfig::default()
             },
-        ));
-    }
-    SimReport::average(&reports)
+        );
+        perf::note_replay(&engine.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -107,4 +108,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "ablation_prefetch", opts.effective_threads());
 }

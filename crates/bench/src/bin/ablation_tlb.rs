@@ -10,7 +10,8 @@
 //! misses. This ablation reruns the Figure 5 sweep with Alpha-21064-style
 //! TLBs enabled.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::per_seed;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 use ldlp::synth::stack_with;
 use ldlp::{BatchPolicy, Discipline, StackEngine};
@@ -18,10 +19,7 @@ use simnet::traffic::{PoissonSource, TrafficSource};
 use simnet::{run_sim, SimConfig};
 
 fn run(discipline: Discipline, rate: f64, opts: &RunOpts) -> (f64, f64, f64) {
-    let mut itlb = 0.0;
-    let mut dtlb = 0.0;
-    let mut lat = 0.0;
-    for seed in 1..=opts.seeds {
+    let runs = per_seed(opts, |seed| {
         let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
         let cfg = MachineConfig::synthetic_benchmark().with_alpha_tlbs();
         // The value-added stack (8 layers x 9 KB, ~20 scattered pages):
@@ -38,13 +36,22 @@ fn run(discipline: Discipline, rate: f64, opts: &RunOpts) -> (f64, f64, f64) {
                 ..SimConfig::default()
             },
         );
+        perf::note_replay(&engine.machine().replay_stats());
         let s = engine.machine().stats();
         let n = r.completed.max(1) as f64;
-        itlb += s.itlb.misses as f64 / n;
-        dtlb += s.dtlb.misses as f64 / n;
-        lat += r.mean_latency_us;
-    }
+        (
+            s.itlb.misses as f64 / n,
+            s.dtlb.misses as f64 / n,
+            r.mean_latency_us,
+        )
+    });
     let n = opts.seeds as f64;
+    let (mut itlb, mut dtlb, mut lat) = (0.0, 0.0, 0.0);
+    for (i, d, l) in runs {
+        itlb += i;
+        dtlb += d;
+        lat += l;
+    }
     (itlb / n, dtlb / n, lat / n)
 }
 
@@ -110,4 +117,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "ablation_tlb", opts.effective_threads());
 }

@@ -9,7 +9,8 @@
 //! not expressible — replies always follow the schedule) against the
 //! full duplex working set, conventional vs. LDLP.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 use ldlp::synth::{paper_stack, stack_with};
 use ldlp::{BatchPolicy, Discipline, StackEngine};
@@ -37,20 +38,20 @@ fn engine(discipline: Discipline, seed: u64, duplex: bool) -> StackEngine {
 }
 
 fn run(discipline: Discipline, duplex: bool, rate: f64, opts: &RunOpts) -> SimReport {
-    let mut reports = Vec::new();
-    for seed in 1..=opts.seeds {
+    seed_average(opts, |seed| {
         let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
         let mut e = engine(discipline, seed, duplex);
-        reports.push(run_sim(
+        let report = run_sim(
             &mut e,
             &arrivals,
             &SimConfig {
                 duration_s: opts.duration_s,
                 ..SimConfig::default()
             },
-        ));
-    }
-    SimReport::average(&reports)
+        );
+        perf::note_replay(&e.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -122,4 +123,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "ablation_transmit", opts.effective_threads());
 }

@@ -1,11 +1,18 @@
 //! Regenerates every table and figure into `results/` by invoking each
-//! experiment binary in sequence. This is the one-shot driver behind
-//! EXPERIMENTS.md.
+//! experiment binary in sequence, timing each one, and merging the
+//! per-binary perf fragments (`results/perf/<bin>.json`) into a
+//! machine-readable `results/perf_summary.json`: wall time per binary,
+//! footprint-replay hit rate, and the worker-thread count used.
 
 use std::process::Command;
+use std::time::Instant;
+
+use bench::{perf, RunOpts};
 
 fn main() {
+    let opts = RunOpts::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = opts.effective_threads();
     let bins = [
         "table1",
         "figure1",
@@ -32,13 +39,69 @@ fn main() {
         .parent()
         .expect("bin dir")
         .to_path_buf();
+    let total_start = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
     for bin in bins {
         println!("\n=== {bin} ===\n");
+        let start = Instant::now();
         let status = Command::new(exe_dir.join(bin))
             .args(&args)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed with {status}");
+        timings.push((bin, start.elapsed().as_secs_f64()));
     }
-    println!("\nAll experiments regenerated into results/.");
+    let total_s = total_start.elapsed().as_secs_f64();
+
+    // Merge the children's perf fragments with the wall times measured
+    // here into one machine-readable summary.
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut bypasses = 0u64;
+    let mut entries = Vec::new();
+    for (bin, wall_s) in &timings {
+        let fragment = std::fs::read_to_string(opts.out_dir.join("perf").join(format!("{bin}.json")))
+            .unwrap_or_default();
+        let h = perf::json_u64(&fragment, "replay_hits").unwrap_or(0);
+        let m = perf::json_u64(&fragment, "replay_misses").unwrap_or(0);
+        let b = perf::json_u64(&fragment, "replay_bypasses").unwrap_or(0);
+        hits += h;
+        misses += m;
+        bypasses += b;
+        let rate = if h + m + b > 0 {
+            h as f64 / (h + m + b) as f64
+        } else {
+            0.0
+        };
+        entries.push(format!(
+            "    {{\"name\": \"{bin}\", \"wall_s\": {wall_s:.3}, \"replay_hits\": {h}, \
+             \"replay_misses\": {m}, \"replay_bypasses\": {b}, \"replay_hit_rate\": {rate:.4}}}"
+        ));
+    }
+    let overall = cachesim::ReplayStats {
+        hits,
+        misses,
+        bypasses,
+    };
+    let summary = format!(
+        "{{\n  \"threads\": {},\n  \"total_wall_s\": {:.3},\n  \"replay_hit_rate\": {:.4},\n  \
+         \"replay_hits\": {},\n  \"replay_misses\": {},\n  \"replay_bypasses\": {},\n  \
+         \"binaries\": [\n{}\n  ]\n}}\n",
+        threads,
+        total_s,
+        overall.hit_rate(),
+        hits,
+        misses,
+        bypasses,
+        entries.join(",\n")
+    );
+    let path = opts.out_dir.join("perf_summary.json");
+    std::fs::create_dir_all(&opts.out_dir).expect("output dir");
+    std::fs::write(&path, summary).expect("write perf summary");
+    println!(
+        "\nAll experiments regenerated into results/ in {total_s:.1}s \
+         ({threads} worker threads, replay hit rate {:.1}%).",
+        overall.hit_rate() * 100.0
+    );
+    println!("wrote {}", path.display());
 }

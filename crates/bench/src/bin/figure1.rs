@@ -8,9 +8,12 @@ use bench::{write_csv, RunOpts};
 use memtrace::{figmap, phases};
 use netstack::footprint::build_receive_ack_trace;
 
+/// (bytes, references) for one class of accesses in one phase.
+type BytesRefs = (u64, u64);
+
 /// The paper's Figure 1 column footers: (phase, write bytes/refs, read
 /// bytes/refs, code bytes/refs).
-const PAPER_FOOTERS: [(&str, (u64, u64), (u64, u64), (u64, u64)); 3] = [
+const PAPER_FOOTERS: [(&str, BytesRefs, BytesRefs, BytesRefs); 3] = [
     ("entry", (1056, 89), (1856, 121), (3008, 564)),
     ("pkt intr", (6848, 1585), (18496, 6251), (13664, 43138)),
     ("exit", (7328, 1089), (10752, 2103), (18240, 10518)),

@@ -11,7 +11,8 @@
 //! as the winning technique (its data loops touch the message once
 //! instead of once per layer).
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 use ldlp::synth::paper_stack;
 use ldlp::{BatchPolicy, Discipline, StackEngine};
@@ -24,8 +25,7 @@ const BYTE_RATE: f64 = 552.0 * 5000.0;
 
 fn run(discipline: Discipline, msg_bytes: u32, opts: &RunOpts) -> SimReport {
     let rate = (BYTE_RATE / msg_bytes as f64).min(20_000.0);
-    let mut reports = Vec::new();
-    for seed in 1..=opts.seeds {
+    seed_average(opts, |seed| {
         let arrivals = PoissonSource::new(rate, msg_bytes, seed).take_until(opts.duration_s);
         let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), seed);
         let mut engine = StackEngine::new(m, layers, discipline);
@@ -36,9 +36,10 @@ fn run(discipline: Discipline, msg_bytes: u32, opts: &RunOpts) -> SimReport {
             pool_seed: seed,
             ..SimConfig::default()
         };
-        reports.push(run_sim(&mut engine, &arrivals, &cfg));
-    }
-    SimReport::average(&reports)
+        let report = run_sim(&mut engine, &arrivals, &cfg);
+        perf::note_replay(&engine.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -133,4 +134,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "figure4_regimes", opts.effective_threads());
 }

@@ -6,21 +6,24 @@
 //! misses rise slightly, and the curve flattens beyond ~8500 msg/s where
 //! the D-cache-fit batch cap (14 messages) binds.
 
+use bench::figures::{figure5_rows, FIGURE5_HEADER};
 use bench::sweep::poisson_sweep;
-use bench::{f, figure5_rates, print_table, write_csv, RunOpts};
+use bench::{f, figure5_rates, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 
 fn main() {
     let opts = RunOpts::from_args();
     println!(
         "Figure 5: cache misses per message vs. arrival rate\n\
-         (Poisson, 552-byte messages, {} placements x {}s each)\n",
-        opts.seeds, opts.duration_s
+         (Poisson, 552-byte messages, {} placements x {}s each,\n\
+         {} worker threads)\n",
+        opts.seeds,
+        opts.duration_s,
+        opts.effective_threads()
     );
     let points = poisson_sweep(&opts, MachineConfig::synthetic_benchmark(), &figure5_rates());
 
     let mut rows = Vec::new();
-    let mut csv = Vec::new();
     for p in &points {
         let ilp = p.ilp.as_ref().expect("poisson sweep provides ILP");
         rows.push(vec![
@@ -33,20 +36,8 @@ fn main() {
             f(p.ldlp.mean_dmiss, 0),
             f(p.ldlp.mean_batch, 1),
         ]);
-        csv.push(vec![
-            f(p.x, 0),
-            f(p.conventional.mean_imiss, 2),
-            f(p.conventional.mean_dmiss, 2),
-            f(p.ldlp.mean_imiss, 2),
-            f(p.ldlp.mean_dmiss, 2),
-            f(p.ldlp.mean_batch, 3),
-            f(p.conventional.mean_batch, 3),
-            f(p.conventional.imiss_std, 2),
-            f(p.ldlp.imiss_std, 2),
-            f(ilp.mean_imiss, 2),
-            f(ilp.mean_dmiss, 2),
-        ]);
     }
+    let csv = figure5_rows(&points);
     print_table(
         &[
             "rate(msg/s)",
@@ -65,21 +56,6 @@ fn main() {
          data loops cannot help when the code, not the data, is the traffic\n\
          (the paper's Figure 2/4 argument for small messages)."
     );
-    write_csv(
-        &opts.out_dir.join("figure5.csv"),
-        &[
-            "rate",
-            "conv_imiss",
-            "conv_dmiss",
-            "ldlp_imiss",
-            "ldlp_dmiss",
-            "ldlp_batch",
-            "conv_batch",
-            "conv_imiss_std",
-            "ldlp_imiss_std",
-            "ilp_imiss",
-            "ilp_dmiss",
-        ],
-        &csv,
-    );
+    write_csv(&opts.out_dir.join("figure5.csv"), &FIGURE5_HEADER, &csv);
+    perf::write_fragment(&opts.out_dir, "figure5", opts.effective_threads());
 }

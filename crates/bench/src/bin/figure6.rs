@@ -6,21 +6,23 @@
 //! (~100 ms, with drops); LDLP keeps latency low to ~9500 msg/s because
 //! batching raises throughput and cuts queueing.
 
+use bench::figures::{figure6_rows, FIGURE6_HEADER};
 use bench::sweep::poisson_sweep;
-use bench::{f, figure5_rates, print_table, write_csv, RunOpts};
+use bench::{f, figure5_rates, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 
 fn main() {
     let opts = RunOpts::from_args();
     println!(
         "Figure 6: latency vs. arrival rate (Poisson, 552-byte messages,\n\
-         {} placements x {}s each, 500-packet buffer)\n",
-        opts.seeds, opts.duration_s
+         {} placements x {}s each, 500-packet buffer, {} worker threads)\n",
+        opts.seeds,
+        opts.duration_s,
+        opts.effective_threads()
     );
     let points = poisson_sweep(&opts, MachineConfig::synthetic_benchmark(), &figure5_rates());
 
     let mut rows = Vec::new();
-    let mut csv = Vec::new();
     for p in &points {
         rows.push(vec![
             f(p.x, 0),
@@ -31,20 +33,8 @@ fn main() {
             f(p.conventional.throughput, 0),
             f(p.ldlp.throughput, 0),
         ]);
-        csv.push(vec![
-            f(p.x, 0),
-            f(p.conventional.mean_latency_us, 2),
-            f(p.ldlp.mean_latency_us, 2),
-            f(p.conventional.p99_latency_us, 2),
-            f(p.ldlp.p99_latency_us, 2),
-            p.conventional.drops.to_string(),
-            p.ldlp.drops.to_string(),
-            f(p.conventional.throughput, 1),
-            f(p.ldlp.throughput, 1),
-            f(p.conventional.latency_std_us, 2),
-            f(p.ldlp.latency_std_us, 2),
-        ]);
     }
+    let csv = figure6_rows(&points);
     print_table(
         &[
             "rate(msg/s)",
@@ -57,21 +47,6 @@ fn main() {
         ],
         &rows,
     );
-    write_csv(
-        &opts.out_dir.join("figure6.csv"),
-        &[
-            "rate",
-            "conv_latency_us",
-            "ldlp_latency_us",
-            "conv_p99_us",
-            "ldlp_p99_us",
-            "conv_drops",
-            "ldlp_drops",
-            "conv_throughput",
-            "ldlp_throughput",
-            "conv_latency_std_us",
-            "ldlp_latency_std_us",
-        ],
-        &csv,
-    );
+    write_csv(&opts.out_dir.join("figure6.csv"), &FIGURE6_HEADER, &csv);
+    perf::write_fragment(&opts.out_dir, "figure6", opts.effective_threads());
 }

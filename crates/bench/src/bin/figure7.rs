@@ -7,8 +7,9 @@
 //! scheduling collapses below ~40 MHz while LDLP batches to maintain
 //! throughput and degrades gracefully.
 
+use bench::figures::{figure7_rows, FIGURE7_HEADER};
 use bench::sweep::clock_sweep;
-use bench::{f, figure7_clocks, print_table, write_csv, RunOpts};
+use bench::{f, figure7_clocks, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 
 fn main() {
@@ -20,8 +21,10 @@ fn main() {
     }
     println!(
         "Figure 7: latency vs. CPU clock (self-similar trace-like traffic,\n\
-         ~1000 pkt/s offered, {} seeds x {}s each)\n",
-        opts.seeds, opts.duration_s
+         ~1000 pkt/s offered, {} seeds x {}s each, {} worker threads)\n",
+        opts.seeds,
+        opts.duration_s,
+        opts.effective_threads()
     );
     let points = clock_sweep(
         &opts,
@@ -30,7 +33,6 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    let mut csv = Vec::new();
     for p in &points {
         rows.push(vec![
             f(p.x, 0),
@@ -40,17 +42,8 @@ fn main() {
             f(p.ldlp.drops as f64, 0),
             f(p.ldlp.mean_batch, 1),
         ]);
-        csv.push(vec![
-            f(p.x, 0),
-            f(p.conventional.mean_latency_us, 2),
-            f(p.ldlp.mean_latency_us, 2),
-            p.conventional.drops.to_string(),
-            p.ldlp.drops.to_string(),
-            f(p.ldlp.mean_batch, 3),
-            f(p.conventional.throughput, 1),
-            f(p.ldlp.throughput, 1),
-        ]);
     }
+    let csv = figure7_rows(&points);
     print_table(
         &[
             "clock(MHz)",
@@ -62,18 +55,6 @@ fn main() {
         ],
         &rows,
     );
-    write_csv(
-        &opts.out_dir.join("figure7.csv"),
-        &[
-            "clock_mhz",
-            "conv_latency_us",
-            "ldlp_latency_us",
-            "conv_drops",
-            "ldlp_drops",
-            "ldlp_batch",
-            "conv_throughput",
-            "ldlp_throughput",
-        ],
-        &csv,
-    );
+    write_csv(&opts.out_dir.join("figure7.csv"), &FIGURE7_HEADER, &csv);
+    perf::write_fragment(&opts.out_dir, "figure7", opts.effective_threads());
 }

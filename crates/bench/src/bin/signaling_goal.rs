@@ -7,30 +7,26 @@
 //! SETUP/RELEASE load across call rates, conventional vs. LDLP, on a
 //! 500 MHz 1996 workstation model.
 
-use bench::{f, print_table, write_csv, RunOpts};
+use bench::sweep::seed_average;
+use bench::{f, perf, print_table, write_csv, RunOpts};
 use ldlp::{BatchPolicy, Discipline, StackEngine};
 use signaling::workload::{call_arrivals, goal_machine, signaling_stack, SIGNALING_LAYERS};
 use simnet::stats::SimReport;
 use simnet::{run_sim, SimConfig};
 
-fn run(
-    discipline: Discipline,
-    pairs_per_s: f64,
-    seeds: u64,
-    duration_s: f64,
-) -> SimReport {
-    let mut reports = Vec::new();
-    for seed in 1..=seeds {
-        let arrivals = call_arrivals(pairs_per_s, 0.02, duration_s, seed);
+fn run(discipline: Discipline, pairs_per_s: f64, opts: &RunOpts) -> SimReport {
+    seed_average(opts, |seed| {
+        let arrivals = call_arrivals(pairs_per_s, 0.02, opts.duration_s, seed);
         let (m, layers) = signaling_stack(goal_machine(), seed);
         let mut engine = StackEngine::new(m, layers, discipline);
         let cfg = SimConfig {
-            duration_s,
+            duration_s: opts.duration_s,
             ..SimConfig::default()
         };
-        reports.push(run_sim(&mut engine, &arrivals, &cfg));
-    }
-    SimReport::average(&reports)
+        let report = run_sim(&mut engine, &arrivals, &cfg);
+        perf::note_replay(&engine.machine().replay_stats());
+        report
+    })
 }
 
 fn main() {
@@ -53,13 +49,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for pairs in [2_000.0, 5_000.0, 8_000.0, 10_000.0, 12_000.0, 15_000.0] {
-        let conv = run(Discipline::Conventional, pairs, opts.seeds, opts.duration_s);
-        let ldlp = run(
-            Discipline::Ldlp(BatchPolicy::DCacheFit),
-            pairs,
-            opts.seeds,
-            opts.duration_s,
-        );
+        let conv = run(Discipline::Conventional, pairs, &opts);
+        let ldlp = run(Discipline::Ldlp(BatchPolicy::DCacheFit), pairs, &opts);
         let proc_us = |r: &SimReport| {
             (instr as f64 + r.mean_imiss * goal_machine().read_miss_penalty as f64
                 + r.mean_dmiss * goal_machine().read_miss_penalty as f64)
@@ -122,4 +113,5 @@ fn main() {
         ],
         &csv,
     );
+    perf::write_fragment(&opts.out_dir, "signaling_goal", opts.effective_threads());
 }

@@ -12,6 +12,10 @@
 //! * `--duration S` — simulated seconds per (rate, seed) point
 //!   (paper: 1.0; default: 1.0).
 //! * `--out DIR` — output directory (default `results/`).
+//! * `--threads N` — worker threads for the sweep runner (default: the
+//!   `SMP_THREADS` environment variable, else all host cores). Output is
+//!   byte-identical for every thread count; `--threads 1` is the serial
+//!   reference path.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -25,6 +29,9 @@ pub struct RunOpts {
     pub duration_s: f64,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    /// Worker threads for the sweep runner; `None` defers to
+    /// `SMP_THREADS`, then to the host's available parallelism.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOpts {
@@ -33,12 +40,14 @@ impl Default for RunOpts {
             seeds: 20,
             duration_s: 1.0,
             out_dir: PathBuf::from("results"),
+            threads: None,
         }
     }
 }
 
 impl RunOpts {
-    /// Parses `--seeds`, `--duration`, `--out` from `std::env::args`.
+    /// Parses `--seeds`, `--duration`, `--out`, `--threads` from
+    /// `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = RunOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -66,17 +75,43 @@ impl RunOpts {
                         .unwrap_or_else(|| die("--out needs a directory"));
                     i += 2;
                 }
+                "--threads" => {
+                    opts.threads = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--threads needs a count")),
+                    );
+                    i += 2;
+                }
                 other => die(&format!("unknown flag {other}")),
             }
         }
         opts
     }
+
+    /// The worker-thread count this run will actually use.
+    pub fn effective_threads(&self) -> usize {
+        simnet::par::resolve_threads(self.threads)
+    }
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--seeds N] [--duration S] [--out DIR]");
+    eprintln!("usage: <bin> [--seeds N] [--duration S] [--out DIR] [--threads N]");
     std::process::exit(2);
+}
+
+/// Renders a CSV document as a string (exactly what [`write_csv`] puts on
+/// disk — the determinism tests compare this text across thread counts).
+pub fn csv_text(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut text = String::new();
+    text.push_str(&header.join(","));
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    text
 }
 
 /// Writes a CSV file, creating the directory if needed.
@@ -85,10 +120,8 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
     let mut f = std::fs::File::create(path).expect("create CSV");
-    writeln!(f, "{}", header.join(",")).expect("write header");
-    for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
-    }
+    f.write_all(csv_text(header, rows).as_bytes())
+        .expect("write CSV");
     println!("wrote {}", path.display());
 }
 
@@ -149,8 +182,26 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 0), "10");
+    }
+
+    #[test]
+    fn perf_fragment_round_trips() {
+        let text = perf::fragment_json("figure5", 8);
+        assert_eq!(perf::json_u64(&text, "threads"), Some(8));
+        assert!(perf::json_u64(&text, "replay_hits").is_some());
+        assert_eq!(perf::json_u64(&text, "no_such_key"), None);
+    }
+
+    #[test]
+    fn threads_flag_resolution() {
+        let opts = RunOpts {
+            threads: Some(3),
+            ..RunOpts::default()
+        };
+        assert_eq!(opts.effective_threads(), 3);
+        assert!(RunOpts::default().effective_threads() >= 1);
     }
 
     #[test]
@@ -164,13 +215,89 @@ mod tests {
     }
 }
 
+pub mod perf {
+    //! Process-wide apparatus-performance counters and the per-binary
+    //! perf fragment consumed by `all_experiments`.
+    //!
+    //! Every simulation run harvests its machine's footprint-replay
+    //! counters into process-wide atomics; a binary then writes one JSON
+    //! fragment (`results/perf/<name>.json`) which `all_experiments`
+    //! merges — together with the wall time it measured for the child —
+    //! into `results/perf_summary.json`.
+
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+    static BYPASSES: AtomicU64 = AtomicU64::new(0);
+
+    /// Folds one machine's replay counters into the process totals.
+    pub fn note_replay(s: &cachesim::ReplayStats) {
+        HITS.fetch_add(s.hits, Ordering::Relaxed);
+        MISSES.fetch_add(s.misses, Ordering::Relaxed);
+        BYPASSES.fetch_add(s.bypasses, Ordering::Relaxed);
+    }
+
+    /// The process-wide replay totals accumulated so far.
+    pub fn replay_totals() -> cachesim::ReplayStats {
+        cachesim::ReplayStats {
+            hits: HITS.load(Ordering::Relaxed),
+            misses: MISSES.load(Ordering::Relaxed),
+            bypasses: BYPASSES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the fragment JSON for a binary.
+    pub fn fragment_json(name: &str, threads: usize) -> String {
+        let t = replay_totals();
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"threads\": {},\n  \"replay_hits\": {},\n  \
+             \"replay_misses\": {},\n  \"replay_bypasses\": {},\n  \"replay_hit_rate\": {:.4}\n}}\n",
+            name,
+            threads,
+            t.hits,
+            t.misses,
+            t.bypasses,
+            t.hit_rate()
+        )
+    }
+
+    /// Writes `OUT_DIR/perf/<name>.json` with this process's replay
+    /// totals and thread count.
+    pub fn write_fragment(out_dir: &Path, name: &str, threads: usize) {
+        let dir = out_dir.join("perf");
+        std::fs::create_dir_all(&dir).expect("create perf directory");
+        std::fs::write(dir.join(format!("{name}.json")), fragment_json(name, threads))
+            .expect("write perf fragment");
+    }
+
+    /// Pulls an integer field out of a fragment (good enough for the
+    /// JSON this module itself writes).
+    pub fn json_u64(text: &str, key: &str) -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let at = text.find(&pat)? + pat.len();
+        let rest = text[at..].trim_start();
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+}
+
 pub mod sweep {
     //! Shared sweep runners for the simulation figures.
+    //!
+    //! All runners fan their independent (point, seed) jobs across
+    //! `opts.effective_threads()` workers via [`simnet::par::run_indexed`]
+    //! and reduce in deterministic seed order, so every CSV is
+    //! byte-identical to a `--threads 1` run.
 
     use crate::RunOpts;
     use cachesim::MachineConfig;
     use ldlp::synth::paper_stack;
     use ldlp::{BatchPolicy, Discipline, StackEngine};
+    use simnet::par::run_indexed;
     use simnet::stats::SimReport;
     use simnet::traffic::{Arrival, PoissonSource, SelfSimilarSource, TrafficSource};
     use simnet::{run_sim, SimConfig};
@@ -203,48 +330,68 @@ pub mod sweep {
             pool_seed: placement_seed,
             ..SimConfig::default()
         };
-        run_sim(&mut engine, arrivals, &sim_cfg)
+        let report = run_sim(&mut engine, arrivals, &sim_cfg);
+        crate::perf::note_replay(&engine.machine().replay_stats());
+        report
+    }
+
+    /// Runs `run(seed)` for seeds `1..=opts.seeds` across the worker
+    /// pool and returns the per-seed results in seed order.
+    pub fn per_seed<T, R>(opts: &RunOpts, run: R) -> Vec<T>
+    where
+        T: Send,
+        R: Fn(u64) -> T + Sync,
+    {
+        run_indexed(opts.seeds as usize, opts.effective_threads(), |i| {
+            run(i as u64 + 1)
+        })
+    }
+
+    /// Averages `run(seed)` reports over `1..=opts.seeds`, fanned across
+    /// the worker pool; the reduction folds in seed order so the average
+    /// is identical for any thread count.
+    pub fn seed_average<R>(opts: &RunOpts, run: R) -> SimReport
+    where
+        R: Fn(u64) -> SimReport + Sync,
+    {
+        SimReport::average(&per_seed(opts, run))
     }
 
     /// Figures 5 and 6: Poisson arrivals of 552-byte messages across the
-    /// rate grid, conventional vs. LDLP, averaged over placements.
+    /// rate grid, conventional vs. LDLP, averaged over placements. Each
+    /// (rate, seed) pair is one parallel job covering all three
+    /// disciplines on the same arrival stream.
     pub fn poisson_sweep(opts: &RunOpts, cfg: MachineConfig, rates: &[f64]) -> Vec<SweepPoint> {
+        let seeds = opts.seeds as usize;
+        let runs = run_indexed(rates.len() * seeds, opts.effective_threads(), |i| {
+            let rate = rates[i / seeds];
+            let seed = (i % seeds) as u64 + 1;
+            let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
+            (
+                run_once(cfg, Discipline::Conventional, seed, &arrivals, opts.duration_s),
+                run_once(
+                    cfg,
+                    Discipline::Ldlp(BatchPolicy::DCacheFit),
+                    seed,
+                    &arrivals,
+                    opts.duration_s,
+                ),
+                run_once(cfg, Discipline::Ilp, seed, &arrivals, opts.duration_s),
+            )
+        });
         rates
             .iter()
-            .map(|&rate| {
-                let mut conv = Vec::new();
-                let mut ldlp = Vec::new();
-                let mut ilp = Vec::new();
-                for seed in 1..=opts.seeds {
-                    let arrivals =
-                        PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
-                    conv.push(run_once(
-                        cfg,
-                        Discipline::Conventional,
-                        seed,
-                        &arrivals,
-                        opts.duration_s,
-                    ));
-                    ldlp.push(run_once(
-                        cfg,
-                        Discipline::Ldlp(BatchPolicy::DCacheFit),
-                        seed,
-                        &arrivals,
-                        opts.duration_s,
-                    ));
-                    ilp.push(run_once(
-                        cfg,
-                        Discipline::Ilp,
-                        seed,
-                        &arrivals,
-                        opts.duration_s,
-                    ));
-                }
+            .enumerate()
+            .map(|(ri, &rate)| {
+                let chunk = &runs[ri * seeds..(ri + 1) * seeds];
+                let pick = |sel: fn(&(SimReport, SimReport, SimReport)) -> &SimReport| {
+                    SimReport::average(&chunk.iter().map(|r| sel(r).clone()).collect::<Vec<_>>())
+                };
                 SweepPoint {
                     x: rate,
-                    conventional: SimReport::average(&conv),
-                    ldlp: SimReport::average(&ldlp),
-                    ilp: Some(SimReport::average(&ilp)),
+                    conventional: pick(|r| &r.0),
+                    ldlp: pick(|r| &r.1),
+                    ilp: Some(pick(|r| &r.2)),
                 }
             })
             .collect()
@@ -253,36 +400,146 @@ pub mod sweep {
     /// Figure 7: trace-driven self-similar traffic at a fixed offered
     /// load, sweeping the CPU clock.
     pub fn clock_sweep(opts: &RunOpts, base: MachineConfig, clocks: &[f64]) -> Vec<SweepPoint> {
+        let seeds = opts.seeds as usize;
+        let runs = run_indexed(clocks.len() * seeds, opts.effective_threads(), |i| {
+            let cfg = base.with_clock_mhz(clocks[i / seeds]);
+            let seed = (i % seeds) as u64 + 1;
+            let arrivals = SelfSimilarSource::bellcore_like(seed).take_until(opts.duration_s);
+            (
+                run_once(cfg, Discipline::Conventional, seed, &arrivals, opts.duration_s),
+                run_once(
+                    cfg,
+                    Discipline::Ldlp(BatchPolicy::DCacheFit),
+                    seed,
+                    &arrivals,
+                    opts.duration_s,
+                ),
+            )
+        });
         clocks
             .iter()
-            .map(|&mhz| {
-                let cfg = base.with_clock_mhz(mhz);
-                let mut conv = Vec::new();
-                let mut ldlp = Vec::new();
-                for seed in 1..=opts.seeds {
-                    let arrivals =
-                        SelfSimilarSource::bellcore_like(seed).take_until(opts.duration_s);
-                    conv.push(run_once(
-                        cfg,
-                        Discipline::Conventional,
-                        seed,
-                        &arrivals,
-                        opts.duration_s,
-                    ));
-                    ldlp.push(run_once(
-                        cfg,
-                        Discipline::Ldlp(BatchPolicy::DCacheFit),
-                        seed,
-                        &arrivals,
-                        opts.duration_s,
-                    ));
-                }
+            .enumerate()
+            .map(|(ci, &mhz)| {
+                let chunk = &runs[ci * seeds..(ci + 1) * seeds];
                 SweepPoint {
                     x: mhz,
-                    conventional: SimReport::average(&conv),
-                    ldlp: SimReport::average(&ldlp),
+                    conventional: SimReport::average(
+                        &chunk.iter().map(|r| r.0.clone()).collect::<Vec<_>>(),
+                    ),
+                    ldlp: SimReport::average(
+                        &chunk.iter().map(|r| r.1.clone()).collect::<Vec<_>>(),
+                    ),
                     ilp: None,
                 }
+            })
+            .collect()
+    }
+}
+
+pub mod figures {
+    //! CSV row construction for the simulation figures, shared between
+    //! the binaries and the determinism regression tests (which assert
+    //! the parallel runner's CSV text is byte-identical to serial).
+
+    use crate::f;
+    use crate::sweep::SweepPoint;
+
+    pub const FIGURE5_HEADER: [&str; 11] = [
+        "rate",
+        "conv_imiss",
+        "conv_dmiss",
+        "ldlp_imiss",
+        "ldlp_dmiss",
+        "ldlp_batch",
+        "conv_batch",
+        "conv_imiss_std",
+        "ldlp_imiss_std",
+        "ilp_imiss",
+        "ilp_dmiss",
+    ];
+
+    pub fn figure5_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
+        points
+            .iter()
+            .map(|p| {
+                let ilp = p.ilp.as_ref().expect("poisson sweep provides ILP");
+                vec![
+                    f(p.x, 0),
+                    f(p.conventional.mean_imiss, 2),
+                    f(p.conventional.mean_dmiss, 2),
+                    f(p.ldlp.mean_imiss, 2),
+                    f(p.ldlp.mean_dmiss, 2),
+                    f(p.ldlp.mean_batch, 3),
+                    f(p.conventional.mean_batch, 3),
+                    f(p.conventional.imiss_std, 2),
+                    f(p.ldlp.imiss_std, 2),
+                    f(ilp.mean_imiss, 2),
+                    f(ilp.mean_dmiss, 2),
+                ]
+            })
+            .collect()
+    }
+
+    pub const FIGURE6_HEADER: [&str; 11] = [
+        "rate",
+        "conv_latency_us",
+        "ldlp_latency_us",
+        "conv_p99_us",
+        "ldlp_p99_us",
+        "conv_drops",
+        "ldlp_drops",
+        "conv_throughput",
+        "ldlp_throughput",
+        "conv_latency_std_us",
+        "ldlp_latency_std_us",
+    ];
+
+    pub fn figure6_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
+        points
+            .iter()
+            .map(|p| {
+                vec![
+                    f(p.x, 0),
+                    f(p.conventional.mean_latency_us, 2),
+                    f(p.ldlp.mean_latency_us, 2),
+                    f(p.conventional.p99_latency_us, 2),
+                    f(p.ldlp.p99_latency_us, 2),
+                    p.conventional.drops.to_string(),
+                    p.ldlp.drops.to_string(),
+                    f(p.conventional.throughput, 1),
+                    f(p.ldlp.throughput, 1),
+                    f(p.conventional.latency_std_us, 2),
+                    f(p.ldlp.latency_std_us, 2),
+                ]
+            })
+            .collect()
+    }
+
+    pub const FIGURE7_HEADER: [&str; 8] = [
+        "clock_mhz",
+        "conv_latency_us",
+        "ldlp_latency_us",
+        "conv_drops",
+        "ldlp_drops",
+        "ldlp_batch",
+        "conv_throughput",
+        "ldlp_throughput",
+    ];
+
+    pub fn figure7_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
+        points
+            .iter()
+            .map(|p| {
+                vec![
+                    f(p.x, 0),
+                    f(p.conventional.mean_latency_us, 2),
+                    f(p.ldlp.mean_latency_us, 2),
+                    p.conventional.drops.to_string(),
+                    p.ldlp.drops.to_string(),
+                    f(p.ldlp.mean_batch, 3),
+                    f(p.conventional.throughput, 1),
+                    f(p.ldlp.throughput, 1),
+                ]
             })
             .collect()
     }

@@ -1,0 +1,79 @@
+//! Regression tests for the parallel sweep runner: the figure 5/6/7 CSV
+//! text produced from a multi-threaded sweep must be byte-identical to
+//! the serial (`--threads 1`) reference on a reduced grid.
+
+use bench::figures::{
+    figure5_rows, figure6_rows, figure7_rows, FIGURE5_HEADER, FIGURE6_HEADER, FIGURE7_HEADER,
+};
+use bench::sweep::{clock_sweep, poisson_sweep};
+use bench::{csv_text, RunOpts};
+use cachesim::MachineConfig;
+
+fn reduced_opts(threads: usize) -> RunOpts {
+    RunOpts {
+        seeds: 3,
+        duration_s: 0.05,
+        threads: Some(threads),
+        ..RunOpts::default()
+    }
+}
+
+#[test]
+fn poisson_sweep_csv_is_thread_count_invariant() {
+    let rates = [2000.0, 6000.0, 9000.0];
+    let cfg = MachineConfig::synthetic_benchmark();
+    let serial = poisson_sweep(&reduced_opts(1), cfg, &rates);
+    let parallel = poisson_sweep(&reduced_opts(4), cfg, &rates);
+
+    let fig5_serial = csv_text(&FIGURE5_HEADER, &figure5_rows(&serial));
+    let fig5_parallel = csv_text(&FIGURE5_HEADER, &figure5_rows(&parallel));
+    assert_eq!(fig5_serial, fig5_parallel, "figure5 CSV differs by thread count");
+
+    let fig6_serial = csv_text(&FIGURE6_HEADER, &figure6_rows(&serial));
+    let fig6_parallel = csv_text(&FIGURE6_HEADER, &figure6_rows(&parallel));
+    assert_eq!(fig6_serial, fig6_parallel, "figure6 CSV differs by thread count");
+
+    // Sanity: the reduced grid still produced real rows.
+    assert_eq!(fig5_serial.lines().count(), rates.len() + 1);
+    assert!(serial[0].conventional.mean_imiss > 0.0);
+}
+
+#[test]
+fn clock_sweep_csv_is_thread_count_invariant() {
+    let clocks = [20.0, 60.0];
+    let cfg = MachineConfig::synthetic_benchmark();
+    let serial = clock_sweep(&reduced_opts(1), cfg, &clocks);
+    let parallel = clock_sweep(&reduced_opts(4), cfg, &clocks);
+
+    let fig7_serial = csv_text(&FIGURE7_HEADER, &figure7_rows(&serial));
+    let fig7_parallel = csv_text(&FIGURE7_HEADER, &figure7_rows(&parallel));
+    assert_eq!(fig7_serial, fig7_parallel, "figure7 CSV differs by thread count");
+    assert_eq!(fig7_serial.lines().count(), clocks.len() + 1);
+}
+
+#[test]
+fn seed_average_is_thread_count_invariant() {
+    use bench::sweep::{run_once, seed_average};
+    use ldlp::Discipline;
+    use simnet::traffic::{PoissonSource, TrafficSource};
+
+    let run = |opts: &RunOpts| {
+        seed_average(opts, |seed| {
+            let arrivals = PoissonSource::new(4000.0, 552, seed).take_until(opts.duration_s);
+            run_once(
+                MachineConfig::synthetic_benchmark(),
+                Discipline::Conventional,
+                seed,
+                &arrivals,
+                opts.duration_s,
+            )
+        })
+    };
+    let serial = run(&reduced_opts(1));
+    let parallel = run(&reduced_opts(4));
+    // f64 averages must match exactly, not approximately: the reduction
+    // order is fixed by seed, not by completion.
+    assert_eq!(serial.mean_latency_us.to_bits(), parallel.mean_latency_us.to_bits());
+    assert_eq!(serial.mean_imiss.to_bits(), parallel.mean_imiss.to_bits());
+    assert_eq!(serial.drops, parallel.drops);
+}

@@ -53,7 +53,8 @@ impl CacheConfig {
         assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
         assert!(self.associativity >= 1, "associativity must be at least 1");
         assert!(
-            self.size_bytes % (self.line_size * self.associativity as u64) == 0,
+            self.size_bytes
+                .is_multiple_of(self.line_size * self.associativity as u64),
             "cache size must be a multiple of line_size * associativity"
         );
         assert!(self.num_sets() >= 1, "cache must have at least one set");
@@ -212,12 +213,51 @@ impl Cache {
         misses
     }
 
+    /// Flattens the tag array for the replay memo: one `u64` per way,
+    /// sets in order, ways MRU-first, invalid ways as `u64::MAX`.
+    pub(crate) fn export_tags(&self) -> Box<[u64]> {
+        let ways = self.cfg.associativity as usize;
+        let mut out = Vec::with_capacity(self.sets.len() * ways);
+        for set in &self.sets {
+            for way in set {
+                out.push(way.unwrap_or(u64::MAX));
+            }
+        }
+        out.into_boxed_slice()
+    }
+
+    /// Restores a tag array captured by [`Cache::export_tags`]. Counters
+    /// are untouched.
+    pub(crate) fn import_tags(&mut self, tags: &[u64]) {
+        let ways = self.cfg.associativity as usize;
+        debug_assert_eq!(tags.len(), self.sets.len() * ways);
+        for (si, set) in self.sets.iter_mut().enumerate() {
+            for (wi, way) in set.iter_mut().enumerate() {
+                let tag = tags[si * ways + wi];
+                *way = if tag == u64::MAX { None } else { Some(tag) };
+            }
+        }
+    }
+
+    /// Adds the aggregate outcome of a memoized sweep to the counters,
+    /// exactly as the equivalent per-line [`Cache::access_line`] calls
+    /// would have.
+    pub(crate) fn record_bulk(&mut self, hits: u64, misses: u64, kind: AccessKind) {
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+        match kind {
+            AccessKind::InstrFetch => self.stats.fetch_misses += misses,
+            AccessKind::Read => self.stats.read_misses += misses,
+            AccessKind::Write => self.stats.write_misses += misses,
+        }
+    }
+
     /// Whether the line containing `addr` is currently resident (no
     /// side effects, no stats update).
     pub fn probe(&self, addr: Addr) -> bool {
         let line = addr >> self.line_shift;
         let set = &self.sets[self.set_index(line)];
-        set.iter().any(|w| *w == Some(line))
+        set.contains(&Some(line))
     }
 
     fn record_miss(&mut self, kind: AccessKind) {
@@ -298,7 +338,7 @@ mod tests {
         c.access_line(2, AccessKind::Read);
         c.access_line(0, AccessKind::Read); // make line 0 MRU
         c.access_line(4, AccessKind::Read); // must evict line 2 (LRU)
-        assert!(c.probe(0 * 32));
+        assert!(c.probe(0));
         assert!(!c.probe(2 * 32));
         assert!(c.probe(4 * 32));
     }

@@ -28,10 +28,14 @@ pub mod addr;
 pub mod cache;
 pub mod machine;
 pub mod placement;
+pub mod replay;
+pub mod stats;
 pub mod tlb;
 
 pub use addr::{Addr, Region};
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
 pub use machine::{CycleCount, Machine, MachineConfig, MachineStats};
 pub use placement::{AddressAllocator, RandomPlacement};
+pub use replay::ReplayCache;
+pub use stats::{ReplayReport, ReplayStats};
 pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -2,6 +2,8 @@
 
 use crate::addr::Region;
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
+use crate::replay::{ReplayCache, Transition};
+use crate::stats::{ReplayReport, ReplayStats};
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
 
 /// Simulated cycle counts.
@@ -204,6 +206,9 @@ pub struct Machine {
     l2: Option<Cache>,
     instr_cycles: CycleCount,
     stall_cycles: CycleCount,
+    /// Footprint-replay memo, created lazily on the first
+    /// [`Machine::fetch_code_footprint`] call on an eligible configuration.
+    replay: Option<ReplayCache>,
 }
 
 impl Machine {
@@ -217,8 +222,110 @@ impl Machine {
             l2: cfg.l2.map(Cache::new),
             instr_cycles: 0,
             stall_cycles: 0,
+            replay: None,
             cfg,
         }
+    }
+
+    /// Whether code sweeps on this configuration touch nothing but the
+    /// I-cache, making footprint replay exact: split caches, no ITLB, no
+    /// L2, no next-line prefetch.
+    fn replay_eligible(&self) -> bool {
+        self.itlb.is_none()
+            && self.l2.is_none()
+            && !self.cfg.next_line_prefetch
+            && self.dcache.is_some()
+    }
+
+    /// Materializes the memo's live state (if any) back into the I-cache
+    /// tag array so non-memoized accesses see current contents.
+    fn sync_replay(&mut self) {
+        if let Some(r) = &mut self.replay {
+            if let Some(t) = r.cur.take() {
+                self.icache.import_tags(r.state(t));
+            }
+        }
+    }
+
+    /// Fetches every line of a fixed code footprint through the I-cache,
+    /// exactly like calling [`Machine::fetch_code_line`] per line, but
+    /// memoized: the `(cache state, footprint)` outcome is recorded so
+    /// recurring sweeps cost one table lookup. `fid` must identify this
+    /// exact `lines` sequence for the lifetime of the machine; a
+    /// conflicting registration falls back to the per-line walk.
+    /// Returns the misses.
+    pub fn fetch_code_footprint(&mut self, fid: u32, lines: &[u64]) -> u64 {
+        if lines.is_empty() {
+            return 0;
+        }
+        if !self.replay_eligible() {
+            if let Some(r) = &mut self.replay {
+                r.stats_mut().bypasses += 1;
+            }
+            self.sync_replay();
+            return self.fetch_lines_walk(lines);
+        }
+        let replay = self.replay.get_or_insert_with(ReplayCache::default);
+        if !replay.check_footprint(fid, lines) {
+            replay.stats_mut().bypasses += 1;
+            self.sync_replay();
+            return self.fetch_lines_walk(lines);
+        }
+        let cur = match replay.cur {
+            Some(t) => t,
+            None => {
+                let tags = self.icache.export_tags();
+                replay.intern(tags)
+            }
+        };
+        if let Some(tr) = replay.lookup(cur, fid) {
+            replay.stats_mut().hits += 1;
+            replay.cur = Some(tr.next);
+            self.icache
+                .record_bulk(lines.len() as u64 - tr.misses, tr.misses, AccessKind::InstrFetch);
+            self.stall_cycles += tr.misses * self.cfg.read_miss_penalty;
+            return tr.misses;
+        }
+        // Memo miss: make the tag array reflect `cur`, walk for real,
+        // record the outcome.
+        replay.stats_mut().misses += 1;
+        if replay.cur.take().is_some() {
+            self.icache.import_tags(replay.state(cur));
+        }
+        let mut misses = 0;
+        for &line in lines {
+            if !self.icache.access_line(line, AccessKind::InstrFetch) {
+                misses += 1;
+                self.stall_cycles += self.cfg.read_miss_penalty;
+            }
+        }
+        let replay = self.replay.as_mut().expect("created above");
+        let next = replay.intern(self.icache.export_tags());
+        replay.insert(cur, fid, Transition { misses, next });
+        replay.cur = Some(next);
+        misses
+    }
+
+    /// Per-line code fetch of `lines` through the full (non-memoized)
+    /// path.
+    fn fetch_lines_walk(&mut self, lines: &[u64]) -> u64 {
+        let mut misses = 0;
+        for &line in lines {
+            if !self.fetch_code_line(line) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Counters of the footprint-replay memo (zero if never used).
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.replay.as_ref().map(|r| r.stats()).unwrap_or_default()
+    }
+
+    /// Counter-and-size snapshot of the footprint-replay memo.
+    pub fn replay_report(&self) -> ReplayReport {
+        self.replay.as_ref().map(|r| r.report()).unwrap_or_default()
     }
 
     /// The configuration this machine was built with.
@@ -235,6 +342,7 @@ impl Machine {
     /// when configured), charging miss/refill penalties. Returns the
     /// number of cache misses.
     pub fn fetch_code(&mut self, region: Region) -> u64 {
+        self.sync_replay();
         if let Some(tlb) = &mut self.itlb {
             let refills = tlb.access_range(region.base, region.len);
             self.stall_cycles += refills * tlb.config().refill_penalty;
@@ -275,6 +383,7 @@ impl Machine {
 
     /// Fetches a single I-cache line by line number.
     pub fn fetch_code_line(&mut self, line: u64) -> bool {
+        self.sync_replay();
         if let Some(tlb) = &mut self.itlb {
             let line_size = self.cfg.icache.line_size;
             if !tlb.access(line * line_size) {
@@ -307,6 +416,10 @@ impl Machine {
     /// Loads every line of `region` through the D-cache (or unified cache),
     /// charging the read-miss penalty per miss. Returns the misses.
     pub fn read_data(&mut self, region: Region) -> u64 {
+        if self.dcache.is_none() {
+            // Unified cache: data accesses touch the memo's cache.
+            self.sync_replay();
+        }
         if let Some(tlb) = &mut self.dtlb {
             let refills = tlb.access_range(region.base, region.len);
             self.stall_cycles += refills * tlb.config().refill_penalty;
@@ -335,6 +448,9 @@ impl Machine {
     /// Stores to every line of `region` (write-allocate), charging the
     /// write-miss penalty per miss. Returns the misses.
     pub fn write_data(&mut self, region: Region) -> u64 {
+        if self.dcache.is_none() {
+            self.sync_replay();
+        }
         if let Some(tlb) = &mut self.dtlb {
             let refills = tlb.access_range(region.base, region.len);
             self.stall_cycles += refills * tlb.config().refill_penalty;
@@ -362,6 +478,9 @@ impl Machine {
 
     /// Loads a single D-cache line by line number.
     pub fn read_data_line(&mut self, line: u64) -> bool {
+        if self.dcache.is_none() {
+            self.sync_replay();
+        }
         let penalty = self.cfg.read_miss_penalty;
         let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
         let hit = cache.access_line(line, AccessKind::Read);
@@ -375,6 +494,11 @@ impl Machine {
     /// counters; the L2 (when configured) keeps its contents, as a warm
     /// board cache would across a context switch.
     pub fn flush_caches(&mut self) {
+        // The flush overwrites whatever state the memo held live; just
+        // drop the token rather than materializing doomed contents.
+        if let Some(r) = &mut self.replay {
+            r.cur = None;
+        }
         self.icache.flush();
         if let Some(d) = &mut self.dcache {
             d.flush();
@@ -452,6 +576,7 @@ impl Machine {
 
     /// Direct access to the I-cache (e.g. for warm-up or probing).
     pub fn icache(&mut self) -> &mut Cache {
+        self.sync_replay();
         &mut self.icache
     }
 
@@ -619,6 +744,104 @@ mod tests {
     fn code_density_presets() {
         assert!(MachineConfig::i386_like().code_density < 1.0);
         assert_eq!(MachineConfig::synthetic_benchmark().code_density, 1.0);
+    }
+
+    /// Drives one memoized and one per-line machine through the same
+    /// interleaved footprint/data/flush schedule and asserts identical
+    /// stats at every step.
+    #[test]
+    fn footprint_replay_is_exact() {
+        let cfg = MachineConfig::synthetic_benchmark();
+        let mut memo = Machine::new(cfg);
+        let mut walk = Machine::new(cfg);
+        // Three footprints that conflict in an 8 KB / 32 B I-cache.
+        let fp: Vec<Vec<u64>> = vec![
+            (0..192).collect(),                  // 6 KB at line 0
+            (100..292).collect(),                // overlaps fp0, spills sets
+            (256..448).collect(),                // aliases fp0 exactly
+        ];
+        let schedule = [0usize, 1, 2, 0, 1, 2, 0, 0, 1, 2, 1, 0, 2, 2, 0, 1];
+        for (step, &f) in schedule.iter().enumerate() {
+            let a = memo.fetch_code_footprint(f as u32, &fp[f]);
+            let mut b = 0;
+            for &line in &fp[f] {
+                if !walk.fetch_code_line(line) {
+                    b += 1;
+                }
+            }
+            assert_eq!(a, b, "misses diverged at step {step}");
+            assert_eq!(
+                memo.stats().icache,
+                walk.stats().icache,
+                "icache stats diverged at step {step}"
+            );
+            assert_eq!(memo.cycles(), walk.cycles(), "cycles diverged at step {step}");
+            // Interleave data traffic (separate cache, must not disturb).
+            memo.read_data(Region::new(0x9000, 256));
+            walk.read_data(Region::new(0x9000, 256));
+            if step == 7 {
+                memo.flush_caches();
+                walk.flush_caches();
+            }
+            if step == 11 {
+                // A raw region fetch forces the memo to materialize.
+                memo.fetch_code(Region::new(50 * 32, 64));
+                walk.fetch_code(Region::new(50 * 32, 64));
+            }
+        }
+        let s = memo.replay_stats();
+        assert!(s.hits > 0, "recurring schedule must produce memo hits");
+        assert_eq!(walk.replay_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn footprint_replay_steady_state_hits() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        let fps: Vec<Vec<u64>> = (0..5).map(|i| (i * 192..(i + 1) * 192).collect()).collect();
+        // 100 "messages" through a 5-layer cycle: after the first lap the
+        // state sequence repeats, so all later sweeps hit the memo.
+        for _ in 0..100 {
+            for (fid, fp) in fps.iter().enumerate() {
+                m.fetch_code_footprint(fid as u32, fp);
+            }
+        }
+        let s = m.replay_stats();
+        assert!(
+            s.hit_rate() > 0.9,
+            "steady-state hit rate {:.3} should approach 1",
+            s.hit_rate()
+        );
+        assert_eq!(s.accesses(), 500);
+    }
+
+    #[test]
+    fn footprint_replay_bypasses_ineligible_configs() {
+        // Prefetch makes code sweeps touch more than the swept lines.
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark().with_prefetch());
+        let fp: Vec<u64> = (0..64).collect();
+        m.fetch_code_footprint(0, &fp);
+        m.fetch_code_footprint(0, &fp);
+        assert_eq!(m.replay_stats().hits, 0);
+        // And the fetches still happened.
+        assert!(m.stats().icache.fetch_misses > 0);
+
+        // Footprint-id collisions fall back to the walk.
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        m.fetch_code_footprint(0, &fp);
+        let other: Vec<u64> = (64..128).collect();
+        let misses = m.fetch_code_footprint(0, &other);
+        assert_eq!(misses, 64, "collision path still simulates correctly");
+        assert_eq!(m.replay_stats().bypasses, 1);
+    }
+
+    #[test]
+    fn footprint_replay_survives_probe_after_hit() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        let fp: Vec<u64> = (0..32).collect();
+        m.fetch_code_footprint(0, &fp);
+        m.fetch_code_footprint(0, &fp); // memo hit: tag array now stale
+        assert!(m.icache().probe(0), "icache() must materialize first");
+        assert!(!m.icache().probe(100 * 32));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Memoized replay of instruction-fetch footprints.
+//!
+//! The layer engines sweep the same code footprints over the I-cache
+//! millions of times per simulated second, and the resulting misses are a
+//! pure function of (footprint, I-cache state before the sweep): a
+//! set-associative LRU cache has no other inputs. This module exploits
+//! that by interning whole I-cache tag states and recording, per
+//! `(state, footprint)` pair, the miss count and successor state. Once a
+//! pair has been seen, replaying the footprint costs one table lookup
+//! instead of one `access_line` walk per code line — and because the
+//! simulated workloads drive the cache through a short cycle of recurring
+//! states, the steady-state hit rate approaches 100%.
+//!
+//! Correctness notes:
+//! * Keys are **exact** tag states (not hashes of them), so a lookup hit
+//!   can never be a collision.
+//! * Between memoized sweeps the cache's backing tag array is allowed to
+//!   go stale; [`ReplayCache::cur`] remembers which interned state is
+//!   live. Any non-memoized touch of the cache must first materialize
+//!   that state back into the array (the machine layer does this).
+//! * Memoization is only used for machine configurations where a code
+//!   sweep touches nothing but the I-cache — no ITLB, no L2, no
+//!   next-line prefetch, split caches. Anything else bypasses the memo
+//!   and simulates normally.
+
+use crate::stats::{ReplayReport, ReplayStats};
+use std::collections::HashMap;
+
+/// The memoized outcome of sweeping one footprint from one state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Transition {
+    /// Misses incurred by the sweep.
+    pub misses: u64,
+    /// Interned token of the resulting cache state.
+    pub next: u32,
+}
+
+/// A transition table over interned I-cache states.
+///
+/// Owned by a [`crate::Machine`]; see [`crate::Machine::fetch_code_footprint`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplayCache {
+    /// Interned tag states; index = token. Ways are stored MRU-first,
+    /// invalid ways as `u64::MAX` (line numbers never reach that value:
+    /// it would require a byte address above 2^64).
+    states: Vec<Box<[u64]>>,
+    /// Exact-state interning map.
+    intern: HashMap<Box<[u64]>, u32>,
+    /// Registered footprints; index = footprint id.
+    footprints: Vec<Vec<u64>>,
+    /// `(state token, footprint id) -> outcome`.
+    transitions: HashMap<(u32, u32), Transition>,
+    /// Token of the cache state currently live, when known. `None` means
+    /// the cache's own tag array is authoritative.
+    pub(crate) cur: Option<u32>,
+    stats: ReplayStats,
+}
+
+impl ReplayCache {
+    /// Registers `lines` under `fid` and reports whether the id is
+    /// usable: `true` the first time and on every exact repeat, `false`
+    /// if `fid` was previously registered with a different line list
+    /// (callers must then bypass the memo).
+    pub(crate) fn check_footprint(&mut self, fid: u32, lines: &[u64]) -> bool {
+        let idx = fid as usize;
+        if idx >= self.footprints.len() {
+            self.footprints.resize(idx + 1, Vec::new());
+        }
+        if self.footprints[idx].is_empty() {
+            self.footprints[idx] = lines.to_vec();
+            return true;
+        }
+        self.footprints[idx] == lines
+    }
+
+    /// Interns a tag state, returning its token.
+    pub(crate) fn intern(&mut self, tags: Box<[u64]>) -> u32 {
+        if let Some(&t) = self.intern.get(&tags) {
+            return t;
+        }
+        let t = self.states.len() as u32;
+        self.states.push(tags.clone());
+        self.intern.insert(tags, t);
+        t
+    }
+
+    /// The tag state behind a token.
+    pub(crate) fn state(&self, token: u32) -> &[u64] {
+        &self.states[token as usize]
+    }
+
+    /// Looks up a recorded transition.
+    pub(crate) fn lookup(&self, state: u32, fid: u32) -> Option<Transition> {
+        self.transitions.get(&(state, fid)).copied()
+    }
+
+    /// Records a transition.
+    pub(crate) fn insert(&mut self, state: u32, fid: u32, tr: Transition) {
+        self.transitions.insert((state, fid), tr);
+    }
+
+    /// Mutable access to the counters.
+    pub(crate) fn stats_mut(&mut self) -> &mut ReplayStats {
+        &mut self.stats
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Snapshot of counters and table sizes.
+    pub fn report(&self) -> ReplayReport {
+        ReplayReport {
+            stats: self.stats,
+            states: self.states.len(),
+            transitions: self.transitions.len(),
+            footprints: self.footprints.iter().filter(|f| !f.is_empty()).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_registration_detects_collisions() {
+        let mut r = ReplayCache::default();
+        assert!(r.check_footprint(0, &[1, 2, 3]));
+        assert!(r.check_footprint(0, &[1, 2, 3]), "exact repeat is fine");
+        assert!(!r.check_footprint(0, &[1, 2, 4]), "different lines collide");
+        assert!(r.check_footprint(5, &[9]), "gaps auto-register");
+        assert_eq!(r.report().footprints, 2);
+    }
+
+    #[test]
+    fn interning_is_stable_and_exact() {
+        let mut r = ReplayCache::default();
+        let a = r.intern(vec![1, 2, u64::MAX].into_boxed_slice());
+        let b = r.intern(vec![1, 2, u64::MAX].into_boxed_slice());
+        let c = r.intern(vec![1, 3, u64::MAX].into_boxed_slice());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(r.state(c), &[1, 3, u64::MAX]);
+    }
+
+    #[test]
+    fn transitions_round_trip() {
+        let mut r = ReplayCache::default();
+        assert!(r.lookup(0, 0).is_none());
+        r.insert(0, 0, Transition { misses: 7, next: 3 });
+        let tr = r.lookup(0, 0).unwrap();
+        assert_eq!(tr.misses, 7);
+        assert_eq!(tr.next, 3);
+        assert_eq!(r.report().transitions, 1);
+    }
+}

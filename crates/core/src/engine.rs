@@ -61,6 +61,18 @@ pub struct StackEngine {
     /// reused round-robin).
     reply_bufs: Vec<cachesim::Region>,
     reply_next: usize,
+    /// Per-batch scratch, reused across batches so the steady-state hot
+    /// path allocates nothing.
+    scratch: BatchScratch,
+}
+
+/// Reusable per-batch buffers for the blocked (LDLP) path.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    imiss: Vec<u64>,
+    dmiss: Vec<u64>,
+    done: Vec<u64>,
+    replies: Vec<cachesim::Region>,
 }
 
 impl StackEngine {
@@ -82,6 +94,7 @@ impl StackEngine {
             reply_len: 0,
             reply_bufs: Vec::new(),
             reply_next: 0,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -161,17 +174,27 @@ impl StackEngine {
     /// message, in input order. The machine's cycle counter carries over
     /// between batches (caches stay warm with whatever survived).
     pub fn process_batch(&mut self, msgs: &[SimMessage]) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(msgs.len());
+        self.process_batch_into(msgs, &mut out);
+        out
+    }
+
+    /// [`Self::process_batch`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a reused buffer makes the steady-state
+    /// path allocation-free.
+    pub fn process_batch_into(&mut self, msgs: &[SimMessage], out: &mut Vec<Completion>) {
+        out.clear();
         match self.discipline {
-            Discipline::Conventional => self.run_per_message(msgs, false),
-            Discipline::Ilp => self.run_per_message(msgs, true),
-            Discipline::Ldlp(_) => self.run_blocked(msgs),
+            Discipline::Conventional => self.run_per_message(msgs, false, out),
+            Discipline::Ilp => self.run_per_message(msgs, true, out),
+            Discipline::Ldlp(_) => self.run_blocked(msgs, out),
         }
     }
 
     /// Conventional / ILP: all layers applied to each message in turn,
     /// followed immediately by the reply's descent when duplex.
-    fn run_per_message(&mut self, msgs: &[SimMessage], integrated: bool) -> Vec<Completion> {
-        let mut out = Vec::with_capacity(msgs.len());
+    fn run_per_message(&mut self, msgs: &[SimMessage], integrated: bool, out: &mut Vec<Completion>) {
+        out.reserve(msgs.len());
         for msg in msgs {
             let (i0, d0) = self.miss_counters();
             for li in 0..self.layers.len() {
@@ -194,17 +217,24 @@ impl StackEngine {
                 dmisses: d1 - d0,
             });
         }
-        out
     }
 
     /// LDLP: each layer applied to the whole batch before the next layer;
     /// when duplex, the replies then descend the transmit layers in the
     /// same blocked pattern.
-    fn run_blocked(&mut self, msgs: &[SimMessage]) -> Vec<Completion> {
+    fn run_blocked(&mut self, msgs: &[SimMessage], out: &mut Vec<Completion>) {
         let n = msgs.len();
-        let mut imiss = vec![0u64; n];
-        let mut dmiss = vec![0u64; n];
-        let mut done = vec![0u64; n];
+        // Take the scratch buffers so they can be indexed while the
+        // engine is borrowed by the apply calls; restored on return.
+        let mut imiss = std::mem::take(&mut self.scratch.imiss);
+        let mut dmiss = std::mem::take(&mut self.scratch.dmiss);
+        let mut done = std::mem::take(&mut self.scratch.done);
+        imiss.clear();
+        imiss.resize(n, 0);
+        dmiss.clear();
+        dmiss.resize(n, 0);
+        done.clear();
+        done.resize(n, 0);
         let last = self.layers.len() - 1;
         for li in 0..self.layers.len() {
             for (mi, msg) in msgs.iter().enumerate() {
@@ -222,8 +252,9 @@ impl StackEngine {
             }
         }
         if self.is_duplex() {
-            let replies: Vec<cachesim::Region> =
-                (0..n).map(|_| self.next_reply_buf()).collect();
+            let mut replies = std::mem::take(&mut self.scratch.replies);
+            replies.clear();
+            replies.extend((0..n).map(|_| self.next_reply_buf()));
             let tx_last = self.tx_layers.len() - 1;
             for li in 0..self.tx_layers.len() {
                 for (mi, &reply) in replies.iter().enumerate() {
@@ -238,27 +269,28 @@ impl StackEngine {
                     }
                 }
             }
+            self.scratch.replies = replies;
         }
-        msgs.iter()
-            .enumerate()
-            .map(|(mi, msg)| Completion {
-                msg_id: msg.id,
-                done_cycles: done[mi],
-                imisses: imiss[mi],
-                dmisses: dmiss[mi],
-            })
-            .collect()
+        out.reserve(n);
+        out.extend(msgs.iter().enumerate().map(|(mi, msg)| Completion {
+            msg_id: msg.id,
+            done_cycles: done[mi],
+            imisses: imiss[mi],
+            dmisses: dmiss[mi],
+        }));
+        self.scratch.imiss = imiss;
+        self.scratch.dmiss = dmiss;
+        self.scratch.done = done;
     }
 
     /// One application of one transmit layer to one reply buffer: the
     /// topmost layer constructs the reply (writes it); lower layers read
     /// it (checksums, framing) on the way down.
     fn apply_tx(&mut self, li: usize, reply: cachesim::Region) {
-        let nlines = self.tx_layers[li].code_lines().len();
-        for k in 0..nlines {
-            let line = self.tx_layers[li].code_lines()[k];
-            self.machine.fetch_code_line(line);
-        }
+        // Footprint ids: rx layers take 0..layers.len(), tx layers follow.
+        let fid = (self.layers.len() + li) as u32;
+        self.machine
+            .fetch_code_footprint(fid, self.tx_layers[li].code_lines());
         let data = self.tx_layers[li].data_region();
         self.machine.read_data(data);
         if self.tx_layers[li].touches_message() && reply.len > 0 {
@@ -276,14 +308,10 @@ impl StackEngine {
     /// code, read its data, run the data loop over the message, charge
     /// instruction cycles.
     fn apply_layer(&mut self, li: usize, msg: &SimMessage, touch_message: bool, ilp_loop: bool) {
-        let line_size = self.machine.config().icache.line_size;
-        let _ = line_size;
-        // Instruction fetches over the layer's working code.
-        let nlines = self.layers[li].code_lines().len();
-        for k in 0..nlines {
-            let line = self.layers[li].code_lines()[k];
-            self.machine.fetch_code_line(line);
-        }
+        // Instruction fetches over the layer's working code, replayed
+        // through the machine's footprint memo.
+        self.machine
+            .fetch_code_footprint(li as u32, self.layers[li].code_lines());
         // Per-layer data.
         let data = self.layers[li].data_region();
         self.machine.read_data(data);

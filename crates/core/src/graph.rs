@@ -471,7 +471,7 @@ mod tests {
                 "filter"
             }
             fn process(&mut self, msg: u32, out: &mut Emitter<u32>) {
-                if msg % 2 == 0 {
+                if msg.is_multiple_of(2) {
                     out.up(0, msg);
                 }
             }
@@ -495,8 +495,8 @@ mod tests {
         let out = g.run();
         assert_eq!(out.len(), 5);
         assert!(out.iter().all(|(_, m)| m % 2 == 0));
-        assert_eq!(g.stats().processed[filter as usize], 10);
-        assert_eq!(g.stats().processed[sink as usize], 5);
+        assert_eq!(g.stats().processed[filter], 10);
+        assert_eq!(g.stats().processed[sink], 5);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Zero-allocation assertion for the engine hot path: after warm-up,
+//! `process_batch_into` must run entirely out of its preallocated batch
+//! and scratch buffers for every discipline — no heap traffic per batch.
+//!
+//! A counting global allocator (this test binary only) measures exact
+//! allocation counts around the steady-state loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use cachesim::MachineConfig;
+use ldlp::synth::{paper_stack, MessagePool};
+use ldlp::{BatchPolicy, Completion, Discipline, SimMessage, StackEngine};
+
+struct CountingAlloc;
+
+// Per-thread count, so a measurement window only sees its own test's
+// allocations — the harness runs tests (and its own bookkeeping) on
+// concurrent threads. `Cell<u64>` has no destructor and const init, so
+// the allocator never recurses or touches torn-down TLS.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn steady_state_allocs(discipline: Discipline) -> u64 {
+    let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 11);
+    let mut engine = StackEngine::new(m, layers, discipline);
+    let mut pool = MessagePool::new(16, 1536, 5);
+    let batch: Vec<SimMessage> = (0..14).map(|i| pool.make_message(i as u64, 552)).collect();
+    let mut out: Vec<Completion> = Vec::new();
+
+    // Warm up: grow the scratch buffers, the completion vector, and the
+    // footprint-replay tables to their fixed points.
+    for _ in 0..50 {
+        engine.process_batch_into(&batch, &mut out);
+    }
+
+    let before = ALLOCS.with(|c| c.get());
+    for _ in 0..100 {
+        engine.process_batch_into(&batch, &mut out);
+    }
+    ALLOCS.with(|c| c.get()) - before
+}
+
+#[test]
+fn ldlp_hot_path_does_not_allocate() {
+    assert_eq!(
+        steady_state_allocs(Discipline::Ldlp(BatchPolicy::DCacheFit)),
+        0,
+        "LDLP steady-state batches must reuse preallocated buffers"
+    );
+}
+
+#[test]
+fn conventional_hot_path_does_not_allocate() {
+    assert_eq!(
+        steady_state_allocs(Discipline::Conventional),
+        0,
+        "conventional steady-state batches must reuse preallocated buffers"
+    );
+}
+
+#[test]
+fn ilp_hot_path_does_not_allocate() {
+    assert_eq!(
+        steady_state_allocs(Discipline::Ilp),
+        0,
+        "ILP steady-state batches must reuse preallocated buffers"
+    );
+}

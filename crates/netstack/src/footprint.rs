@@ -313,7 +313,7 @@ fn code_coverage(spec: &FnSpec, seed: u64) -> CodeCoverage {
         if rng.pct() < CODE_SKIP_NUM && cursor + remaining < max_lines {
             cursor += 1;
         }
-        let last_line_len = if cursor == max_lines - 1 && spec.size % 32 != 0 {
+        let last_line_len = if cursor == max_lines - 1 && !spec.size.is_multiple_of(32) {
             spec.size % 32
         } else {
             32
@@ -453,9 +453,8 @@ pub fn build_trace(layout: &TraceLayout) -> Trace {
             // copy-to-user routines traverse the message again while the
             // ACK-building routines only touch the 58-byte ACK.
             if spec.loop_weight > 0 && phase != 0 {
-                let loop_bytes = if phase == 1 {
-                    MESSAGE_SIZE
-                } else if matches!(spec.name, "bcopy" | "copyout" | "uiomove") {
+                let loop_bytes = if phase == 1 || matches!(spec.name, "bcopy" | "copyout" | "uiomove")
+                {
                     MESSAGE_SIZE
                 } else {
                     58

@@ -51,21 +51,12 @@ impl Device for Loopback {
 }
 
 /// Deterministic fault injection for [`Channel`] devices.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FaultConfig {
     /// Drop one frame in every `drop_every` (0 disables).
     pub drop_every: u32,
     /// Corrupt one byte in every `corrupt_every` frames (0 disables).
     pub corrupt_every: u32,
-}
-
-impl Default for FaultConfig {
-    fn default() -> Self {
-        FaultConfig {
-            drop_every: 0,
-            corrupt_every: 0,
-        }
-    }
 }
 
 #[derive(Debug, Default)]
@@ -113,10 +104,10 @@ impl Device for Channel {
         let mut st = self.state.borrow_mut();
         st.tx_count += 1;
         if let Some(f) = st.faults {
-            if f.drop_every != 0 && st.tx_count % f.drop_every == 0 {
+            if f.drop_every != 0 && st.tx_count.is_multiple_of(f.drop_every) {
                 return;
             }
-            if f.corrupt_every != 0 && st.tx_count % f.corrupt_every == 0 {
+            if f.corrupt_every != 0 && st.tx_count.is_multiple_of(f.corrupt_every) {
                 // Flip a byte in the middle of the frame (the tail may be
                 // link-layer padding outside any checksum).
                 let mid = frame.len() / 2;

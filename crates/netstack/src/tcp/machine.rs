@@ -1172,13 +1172,11 @@ mod tests {
     #[test]
     fn fast_path_dominates_bulk_receive() {
         let (mut c, mut s, cs, ss) = connected();
-        let mut now = 1;
-        for _ in 0..50 {
+        for now in 1..=50 {
             c.send(cs, &[0u8; 536], now).unwrap();
             pump(&mut c, &mut s, now);
             let mut buf = [0u8; 1024];
             while s.recv(ss, &mut buf).unwrap() > 0 {}
-            now += 1;
         }
         let st = s.stats();
         assert!(

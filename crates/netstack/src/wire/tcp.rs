@@ -13,7 +13,10 @@ pub const TCP_HEADER_LEN: usize = 20;
 pub struct SeqNumber(pub u32);
 
 impl SeqNumber {
-    /// `self + n`, wrapping.
+    /// `self + n`, wrapping. Deliberately not `impl Add`: mixed
+    /// `SeqNumber + u32` operands read worse than explicit calls in
+    /// sequence-space arithmetic.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u32) -> SeqNumber {
         SeqNumber(self.0.wrapping_add(n))
     }

@@ -18,11 +18,17 @@
 //! * [`stats`] — report aggregation, percentiles, and a Hurst-parameter
 //!   estimator (aggregated-variance method) used to validate the
 //!   self-similar source.
+//! * [`par`] — a deterministic parallel executor that fans independent
+//!   (parameter, seed) simulation runs across host cores and returns
+//!   results in index order, so sweep output is byte-identical to the
+//!   serial path.
 
+pub mod par;
 pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use par::{resolve_threads, run_indexed};
 pub use sim::{run_sim, run_sim_traced, BatchRecord, SimConfig};
 pub use stats::SimReport;
 pub use traffic::{

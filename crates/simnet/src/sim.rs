@@ -92,6 +92,12 @@ pub fn run_sim_traced(
     let mut now: u64 = 0;
     let mut msg_id: u64 = 0;
 
+    // Batch buffers, reused every iteration: the steady-state loop
+    // allocates nothing per batch.
+    let mut batch: Vec<SimMessage> = Vec::with_capacity(cfg.pool_bufs);
+    let mut batch_arrivals: Vec<u64> = Vec::with_capacity(cfg.pool_bufs);
+    let mut completions: Vec<ldlp::Completion> = Vec::with_capacity(cfg.pool_bufs);
+
     let arrival_cycle =
         |a: &Arrival| -> u64 { (a.time_s * cycles_per_s).round() as u64 };
 
@@ -126,8 +132,8 @@ pub fn run_sim_traced(
             .batch_limit(max_bytes)
             .min(nic.len())
             .min(cfg.pool_bufs);
-        let mut batch: Vec<SimMessage> = Vec::with_capacity(limit);
-        let mut batch_arrivals: Vec<u64> = Vec::with_capacity(limit);
+        batch.clear();
+        batch_arrivals.clear();
         for _ in 0..limit {
             let (arr, bytes) = nic.pop_front().expect("limit <= len");
             let mut m = pool.make_message(msg_id, bytes as u64);
@@ -147,7 +153,7 @@ pub fn run_sim_traced(
 
         // Process: the machine's counter advances by the batch cost.
         let machine_before = engine.machine().cycles();
-        let completions = engine.process_batch(&batch);
+        engine.process_batch_into(&batch, &mut completions);
         let machine_after = engine.machine().cycles();
         // Batch runs in sim time [now, now + cost).
         let offset = now - machine_before;

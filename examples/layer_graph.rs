@@ -47,19 +47,16 @@ impl GraphLayer<Packet> for IpLayer {
         "ipv4"
     }
     fn process(&mut self, mut pkt: Packet, out: &mut Emitter<Packet>) {
-        match Ipv4Repr::parse(&pkt.bytes) {
-            Ok((ip, off)) => {
-                pkt.src = ip.src;
-                pkt.dst = ip.dst;
-                pkt.bytes.drain(..off);
-                pkt.bytes.truncate(ip.payload_len);
-                match ip.protocol {
-                    Protocol::Udp => out.up(0, pkt),
-                    Protocol::Icmp => out.up(1, pkt),
-                    _ => {}
-                }
+        if let Ok((ip, off)) = Ipv4Repr::parse(&pkt.bytes) {
+            pkt.src = ip.src;
+            pkt.dst = ip.dst;
+            pkt.bytes.drain(..off);
+            pkt.bytes.truncate(ip.payload_len);
+            match ip.protocol {
+                Protocol::Udp => out.up(0, pkt),
+                Protocol::Icmp => out.up(1, pkt),
+                _ => {}
             }
-            Err(_) => {}
         }
     }
 }
@@ -71,12 +68,9 @@ impl GraphLayer<Packet> for UdpLayer {
         "udp"
     }
     fn process(&mut self, mut pkt: Packet, out: &mut Emitter<Packet>) {
-        match UdpRepr::parse(&pkt.bytes, pkt.src, pkt.dst) {
-            Ok((_udp, off)) => {
-                pkt.bytes.drain(..off);
-                out.deliver(pkt);
-            }
-            Err(_) => {}
+        if let Ok((_udp, off)) = UdpRepr::parse(&pkt.bytes, pkt.src, pkt.dst) {
+            pkt.bytes.drain(..off);
+            out.deliver(pkt);
         }
     }
 }

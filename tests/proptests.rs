@@ -144,7 +144,7 @@ fn arb_ie() -> impl Strategy<Value = signaling::wire::InfoElement> {
         proptest::collection::vec(any::<u8>(), 0..40).prop_map(InfoElement::CallingParty),
         any::<u32>().prop_map(|pcr| InfoElement::TrafficDescriptor { pcr }),
         (any::<u16>(), any::<u16>()).prop_map(|(vpi, vci)| InfoElement::ConnectionId { vpi, vci }),
-        any::<u8>().prop_map(|c| InfoElement::Cause(Cause::Other(c).into())),
+        any::<u8>().prop_map(|c| InfoElement::Cause(Cause::Other(c))),
     ]
 }
 

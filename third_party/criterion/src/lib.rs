@@ -1,0 +1,323 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal benchmark harness exposing the API subset this workspace's
+//! benches use: `Criterion::bench_function` / `benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, `Throughput`, `BenchmarkId`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is adaptive mean-of-N timing: each routine is calibrated
+//! to roughly `CRITERION_TARGET_MS` milliseconds (default 200) and the
+//! mean time per iteration is printed with any configured throughput.
+//! There is no statistical machinery — this exists so `cargo bench`
+//! compiles and produces useful numbers without network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API parity; the stand-in
+/// regenerates the input for every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to derive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (takes the group's name as the function part).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives one benchmark routine.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+    iters: u64,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            target,
+        }
+    }
+
+    /// Times `f` adaptively and records the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double until the routine consumes ~1/10 the target.
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target / 10 || n >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / n as f64;
+            }
+            n *= 2;
+        };
+        // Measure: as many iterations as fit the remaining budget.
+        let measured = ((self.target.as_nanos() as f64 / per_iter_ns.max(1.0)) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..measured {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / measured as f64;
+        self.iters = measured;
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target / 10 || n >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / n as f64;
+            }
+            n *= 2;
+        };
+        let measured = ((self.target.as_nanos() as f64 / per_iter_ns.max(1.0)) as u64)
+            .clamp(1, 1 << 24);
+        let inputs: Vec<I> = (0..measured).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / measured as f64;
+        self.iters = measured;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_s: f64, unit: &str) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} G{unit}/s", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M{unit}/s", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} K{unit}/s", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} {unit}/s")
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} {:>12}/iter  ({} iters)", human_time(b.mean_ns), b.iters);
+    if let Some(t) = throughput {
+        let per_s = match t {
+            Throughput::Bytes(n) => n as f64 / (b.mean_ns / 1e9),
+            Throughput::Elements(n) => n as f64 / (b.mean_ns / 1e9),
+        };
+        let unit = match t {
+            Throughput::Bytes(_) => "B",
+            Throughput::Elements(_) => "elem",
+        };
+        line.push_str(&format!("  {}", human_rate(per_s, unit)));
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        Criterion {
+            target: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            target: self.target,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    target: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the per-bench measurement budget (API parity; accepted).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.target = d;
+        self
+    }
+
+    /// Overrides the sample count (API parity; ignored by the stand-in).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F, In>(&mut self, id: I, input: &In, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnOnce(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.target);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_TARGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}
