@@ -32,6 +32,10 @@ pub struct RunOpts {
     /// Worker threads for the sweep runner; `None` defers to
     /// `SMP_THREADS`, then to the host's available parallelism.
     pub threads: Option<usize>,
+    /// Reduced CI configuration (fewer grid points and seeds); binaries
+    /// that honour it also write a `*_smoke.csv` so the golden file the
+    /// CI compares against never collides with full results.
+    pub smoke: bool,
 }
 
 impl Default for RunOpts {
@@ -41,13 +45,14 @@ impl Default for RunOpts {
             duration_s: 1.0,
             out_dir: PathBuf::from("results"),
             threads: None,
+            smoke: false,
         }
     }
 }
 
 impl RunOpts {
-    /// Parses `--seeds`, `--duration`, `--out`, `--threads` from
-    /// `std::env::args`.
+    /// Parses `--seeds`, `--duration`, `--out`, `--threads`, `--smoke`
+    /// from `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = RunOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -83,6 +88,10 @@ impl RunOpts {
                     );
                     i += 2;
                 }
+                "--smoke" => {
+                    opts.smoke = true;
+                    i += 1;
+                }
                 other => die(&format!("unknown flag {other}")),
             }
         }
@@ -97,7 +106,7 @@ impl RunOpts {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--seeds N] [--duration S] [--out DIR] [--threads N]");
+    eprintln!("usage: <bin> [--seeds N] [--duration S] [--out DIR] [--threads N] [--smoke]");
     std::process::exit(2);
 }
 
@@ -202,6 +211,65 @@ mod tests {
         };
         assert_eq!(opts.effective_threads(), 3);
         assert!(RunOpts::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn smoke_flag_defaults_off() {
+        assert!(!RunOpts::default().smoke);
+    }
+
+    #[test]
+    fn impairment_grid_shapes() {
+        // 3 loss points x {iid, bursty} x 2 depths, minus the two
+        // bursty-at-zero-loss cells; 6 loss points for the full grid.
+        assert_eq!(impairments::grid(true).len(), 10);
+        assert_eq!(impairments::grid(false).len(), 22);
+        assert!(impairments::grid(false)
+            .iter()
+            .all(|c| !(c.bursty && c.loss_pct == 0.0)));
+        let ch = impairments::cell_channel(
+            impairments::ImpairCell {
+                loss_pct: 5.0,
+                bursty: true,
+                reorder_depth: 8,
+            },
+            3,
+        );
+        assert_eq!(ch.drop_prob, 0.0, "bursty cells lose via the chain only");
+        let ge = ch.gilbert.expect("bursty cell has a chain");
+        assert!((ge.mean_loss() - 0.05).abs() < 1e-12);
+        assert_eq!(ch.corrupt_prob, 0.025);
+    }
+
+    #[test]
+    fn wire_exercise_clean_link_fires_no_exception_paths() {
+        let w = impairments::wire_exercise(simnet::ImpairConfig::default());
+        assert_eq!(w.checksum_rejects, 0);
+        assert_eq!(w.ooo_buffered, 0);
+        assert_eq!(w.reassembly_timeouts, 0);
+    }
+
+    #[test]
+    fn wire_exercise_impaired_link_fires_them() {
+        let w = impairments::wire_exercise(simnet::ImpairConfig {
+            drop_prob: 0.10,
+            corrupt_prob: 0.05,
+            reorder_prob: 0.25,
+            reorder_depth: 8,
+            seed: 3,
+            ..simnet::ImpairConfig::default()
+        });
+        assert!(w.tcp_retransmits > 0, "losses force TCP retransmission");
+        assert!(w.checksum_rejects > 0, "byte flips are caught by checksums");
+        let w2 = impairments::wire_exercise(simnet::ImpairConfig {
+            drop_prob: 0.10,
+            corrupt_prob: 0.05,
+            reorder_prob: 0.25,
+            reorder_depth: 8,
+            seed: 3,
+            ..simnet::ImpairConfig::default()
+        });
+        assert_eq!(w, w2, "the wire pass is deterministic");
     }
 
     #[test]
@@ -431,6 +499,454 @@ pub mod sweep {
                     ),
                     ilp: None,
                 }
+            })
+            .collect()
+    }
+}
+
+pub mod impairments {
+    //! The saturated-path impairment sweep (`results/impairments.csv`):
+    //! the signalling workload rerun across a lossy channel with
+    //! retransmission enabled, LDLP vs. conventional, over loss rates
+    //! 0–10% (i.i.d. and Gilbert–Elliott bursty) and reorder depths.
+    //! Every cell also drives real wire frames through the same
+    //! impairment model at the netstack level, so the CSV records which
+    //! exception paths fired: checksum rejection, TCP out-of-order
+    //! buffering and retransmission, and IP reassembly timeout.
+
+    use crate::{f, RunOpts};
+    use ldlp::{BatchPolicy, Discipline, StackEngine};
+    use netstack::iface::{Channel, Device, Interface};
+    use netstack::ipfrag::REASSEMBLY_TIMEOUT_MS;
+    use netstack::tcp::machine::{TcpConfig, TcpEvent, TcpStack};
+    use netstack::tcp::pcb::TcpState;
+    use netstack::wire::ethernet::EthernetAddr;
+    use netstack::wire::ipv4::Ipv4Addr;
+    use signaling::workload::{goal_machine, signaling_stack};
+    use signaling::{lossy_call_arrivals, LossyCallConfig, RecoveryStats, RetryPolicy};
+    use simnet::impair::{reorder_deliveries, GilbertElliott, ImpairConfig, ImpairState};
+    use simnet::par::run_indexed;
+    use simnet::stats::SimReport;
+    use simnet::{run_sim_impaired, SimConfig};
+
+    /// Call-attempt rate of the sweep: near the goal machine's knee, so
+    /// the impairments act on a loaded switch rather than an idle one.
+    pub const PAIRS_PER_S: f64 = 8_000.0;
+    /// Mean call hold time, seconds (RELEASE follows SETUP by this).
+    pub const HOLD_S: f64 = 0.02;
+
+    /// One cell of the impairment grid.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct ImpairCell {
+        /// Mean packet loss, percent.
+        pub loss_pct: f64,
+        /// Losses clustered by the Gilbert–Elliott chain instead of
+        /// falling independently.
+        pub bursty: bool,
+        /// NIC-queue reorder depth (0 = in-order delivery).
+        pub reorder_depth: usize,
+    }
+
+    /// The sweep grid: loss points x {i.i.d., bursty} x reorder depths.
+    /// The bursty variant is skipped at zero loss (it would be identical
+    /// to the i.i.d. row).
+    pub fn grid(smoke: bool) -> Vec<ImpairCell> {
+        let loss_pct: &[f64] = if smoke {
+            &[0.0, 2.0, 10.0]
+        } else {
+            &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0]
+        };
+        let mut cells = Vec::new();
+        for &loss in loss_pct {
+            for bursty in [false, true] {
+                if bursty && loss == 0.0 {
+                    continue;
+                }
+                for depth in [0usize, 8] {
+                    cells.push(ImpairCell {
+                        loss_pct: loss,
+                        bursty,
+                        reorder_depth: depth,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// The channel a cell stands for. Corruption scales with the loss
+    /// rate (half of it), so the checksum-reject path is exercised in
+    /// every impaired cell; bursty cells lose the same mean fraction in
+    /// runs of ~4 packets.
+    pub fn cell_channel(cell: ImpairCell, seed: u64) -> ImpairConfig {
+        let loss = cell.loss_pct / 100.0;
+        ImpairConfig {
+            drop_prob: if cell.bursty { 0.0 } else { loss },
+            gilbert: cell
+                .bursty
+                .then(|| GilbertElliott::bursty(loss, 4.0, 0.5)),
+            corrupt_prob: loss / 2.0,
+            seed,
+            ..ImpairConfig::default()
+        }
+    }
+
+    /// Exception-path counters from the wire-level pass.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct WireCounters {
+        /// Frames rejected by a checksum after a payload byte flip.
+        pub checksum_rejects: u64,
+        /// TCP segments retransmitted to cover losses.
+        pub tcp_retransmits: u64,
+        /// TCP segments buffered past a receive gap.
+        pub ooo_buffered: u64,
+        /// IP reassemblies reclaimed by the timer after fragment loss.
+        pub reassembly_timeouts: u64,
+    }
+
+    /// A link-layer [`Device`] with the impairment channel on its
+    /// transmit side: frames are dropped, corrupted (one byte flipped
+    /// mid-frame, exactly what a checksum must catch), duplicated, or
+    /// held back `reorder_slip` deliveries. `netstack` cannot depend on
+    /// `simnet`, so the adapter lives here in the harness.
+    pub struct ImpairedDevice<D: Device> {
+        inner: D,
+        chan: ImpairState,
+        /// Held (reordered) frames: (deliveries still to pass them, frame).
+        held: Vec<(usize, Vec<u8>)>,
+    }
+
+    impl<D: Device> ImpairedDevice<D> {
+        /// Wraps `inner` with the impairment channel `cfg`.
+        pub fn new(inner: D, cfg: ImpairConfig) -> Self {
+            ImpairedDevice {
+                inner,
+                chan: ImpairState::new(cfg),
+                held: Vec::new(),
+            }
+        }
+
+        /// Channel counters accumulated so far.
+        pub fn counters(&self) -> simnet::ImpairCounters {
+            self.chan.counters()
+        }
+
+        /// A frame is being delivered: held frames each move one slot
+        /// closer and any that are due go out ahead of it.
+        fn advance_held(&mut self) {
+            let mut i = 0;
+            while i < self.held.len() {
+                self.held[i].0 -= 1;
+                if self.held[i].0 == 0 {
+                    let (_, frame) = self.held.remove(i);
+                    self.inner.transmit(frame);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    impl<D: Device> Device for ImpairedDevice<D> {
+        fn transmit(&mut self, mut frame: Vec<u8>) {
+            let fate = self.chan.next_fate();
+            if fate.dropped {
+                return;
+            }
+            if fate.corrupted {
+                let mid = frame.len() / 2;
+                if let Some(b) = frame.get_mut(mid) {
+                    *b ^= 0xff;
+                }
+            }
+            // Same release rule as `simnet::impair`: every frame
+            // crossing the channel advances the held ones, so holds are
+            // bounded even if every frame reorders.
+            self.advance_held();
+            if fate.reorder_slip > 0 {
+                self.held.push((fate.reorder_slip, frame));
+                return;
+            }
+            let dup = fate.duplicated.then(|| frame.clone());
+            self.inner.transmit(frame);
+            if let Some(copy) = dup {
+                self.inner.transmit(copy);
+            }
+        }
+
+        fn receive(&mut self) -> Option<Vec<u8>> {
+            self.inner.receive()
+        }
+    }
+
+    fn wire_host(n: u8) -> Interface {
+        Interface::new(
+            EthernetAddr([2, 0, 0, 0, 0, n]),
+            Ipv4Addr::new(192, 168, 96, n),
+            TcpStack::new(TcpConfig::default()),
+        )
+    }
+
+    /// How many fragmented UDP datagrams [`wire_exercise`] sends. Each
+    /// fragments into three frames, so together with the TCP transfer
+    /// the exchange pushes enough frames that a corruption probability
+    /// of a few percent reliably trips a checksum somewhere.
+    pub const WIRE_UDP_DATAGRAMS: usize = 24;
+
+    /// Drives a 4 KB TCP transfer and fragmented UDP datagrams
+    /// across an impaired link and reports which exception paths fired.
+    /// TCP recovers losses by retransmission; fragments stranded by a
+    /// lost sibling are reclaimed by the reassembly timer at the end.
+    /// Completion is not asserted — at the heaviest impairment the
+    /// point is precisely how much recovery work was needed — and the
+    /// whole exchange is deterministic for a given channel config.
+    pub fn wire_exercise(cfg: ImpairConfig) -> WireCounters {
+        let (ad, bd) = Channel::pair();
+        let mut ad = ImpairedDevice::new(ad, cfg);
+        let mut bd = ImpairedDevice::new(
+            bd,
+            ImpairConfig {
+                seed: cfg.seed.wrapping_add(1),
+                ..cfg
+            },
+        );
+        let mut a = wire_host(1);
+        let mut b = wire_host(2);
+        let (a_ip, a_mac, b_ip, b_mac) = (a.ip(), a.mac(), b.ip(), b.mac());
+        a.add_arp_entry(b_ip, b_mac);
+        b.add_arp_entry(a_ip, a_mac);
+        b.udp_bind(4000).unwrap();
+        b.tcp.listen(b_ip, 9).unwrap();
+        let conn = a.tcp.connect(a_ip, b_ip, 9, 0).unwrap();
+
+        let payload: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
+        let (mut sent, mut received, mut udp_sent) = (0usize, 0usize, 0usize);
+        let mut srv = None;
+        let mut buf = [0u8; 2048];
+        let mut now: u64 = 0;
+        while now < 120_000 {
+            // Pump both directions until quiet (bounded: duplicates and
+            // releases of held frames can extend an exchange).
+            for _ in 0..200 {
+                let n = a.poll(&mut ad, now) + b.poll(&mut bd, now);
+                a.flush_tcp(&mut ad);
+                b.flush_tcp(&mut bd);
+                if n == 0 {
+                    break;
+                }
+            }
+            if srv.is_none() {
+                srv = b
+                    .tcp
+                    .take_events()
+                    .iter()
+                    .find_map(|(id, e)| matches!(e, TcpEvent::Accepted { .. }).then_some(*id));
+            }
+            if a.tcp.state(conn) == TcpState::Established && sent < payload.len() {
+                sent += a
+                    .tcp
+                    .send(conn, &payload[sent..(sent + 1000).min(payload.len())], now)
+                    .unwrap_or(0);
+                a.flush_tcp(&mut ad);
+            }
+            if let Some(s) = srv {
+                while let Ok(n) = b.tcp.recv(s, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    received += n;
+                }
+            }
+            if udp_sent < WIRE_UDP_DATAGRAMS {
+                // A 3000-byte datagram fragments into three frames; any
+                // lost fragment strands its siblings until the timer.
+                a.udp_send(&mut ad, 4001, b_ip, 4000, &[0xab; 3000]);
+                udp_sent += 1;
+            }
+            while b.udp_recv(4000).is_some() {}
+            if received >= payload.len() && udp_sent >= WIRE_UDP_DATAGRAMS {
+                break;
+            }
+            now += 1100; // step past the TCP RTO so losses retransmit
+            a.tcp.poll(now);
+            b.tcp.poll(now);
+            a.flush_tcp(&mut ad);
+            b.flush_tcp(&mut bd);
+        }
+        // One idle poll far enough out for stranded reassemblies to expire.
+        let end = now + REASSEMBLY_TIMEOUT_MS + 1;
+        a.poll(&mut ad, end);
+        b.poll(&mut bd, end);
+        WireCounters {
+            checksum_rejects: a.stats().parse_errors + b.stats().parse_errors,
+            tcp_retransmits: a.tcp.stats().retransmits + b.tcp.stats().retransmits,
+            ooo_buffered: a.tcp.stats().ooo_buffered + b.tcp.stats().ooo_buffered,
+            reassembly_timeouts: a.reassembly_stats().timeouts + b.reassembly_stats().timeouts,
+        }
+    }
+
+    /// One finished cell: seed-averaged reports for both disciplines,
+    /// recovery bookkeeping summed across seeds, and the wire-level
+    /// exception-path counters.
+    #[derive(Debug, Clone)]
+    pub struct ImpairPoint {
+        pub cell: ImpairCell,
+        pub conventional: SimReport,
+        pub ldlp: SimReport,
+        /// Summed over seeds (totals, not means).
+        pub recovery: RecoveryStats,
+        pub wire: WireCounters,
+    }
+
+    fn fold_recovery(into: &mut RecoveryStats, s: &RecoveryStats) {
+        into.calls += s.calls;
+        into.connected += s.connected;
+        into.abandoned += s.abandoned;
+        into.transmissions += s.transmissions;
+        into.retransmits += s.retransmits;
+        into.releases_sent += s.releases_sent;
+        into.abandon_releases += s.abandon_releases;
+        into.exhausted_sends += s.exhausted_sends;
+    }
+
+    fn run_discipline(
+        discipline: Discipline,
+        seed: u64,
+        deliveries: &[simnet::ImpairedArrival],
+        net: simnet::ImpairCounters,
+        duration_s: f64,
+    ) -> SimReport {
+        let (machine, layers) = signaling_stack(goal_machine(), seed);
+        // AAL5 (layer 0) carries the CRC-32, so corrupted deliveries die
+        // there after costing exactly one layer of processing.
+        let mut engine = StackEngine::new(machine, layers, discipline).with_verify_layer(0);
+        let sim_cfg = SimConfig {
+            duration_s,
+            pool_seed: seed,
+            ..SimConfig::default()
+        };
+        let report = run_sim_impaired(&mut engine, deliveries, &sim_cfg, net);
+        crate::perf::note_replay(&engine.machine().replay_stats());
+        assert!(
+            report.conservation_holds(),
+            "conservation violated: {report:?}"
+        );
+        report
+    }
+
+    fn run_cell(cell: ImpairCell, seeds: u64, duration_s: f64) -> ImpairPoint {
+        let mut conv = Vec::new();
+        let mut ldlp = Vec::new();
+        let mut recovery = RecoveryStats::default();
+        for seed in 1..=seeds {
+            let cfg = LossyCallConfig {
+                pairs_per_s: PAIRS_PER_S,
+                hold_s: HOLD_S,
+                duration_s,
+                seed,
+                channel: cell_channel(cell, seed),
+                retry: RetryPolicy::default(),
+            };
+            let (mut deliveries, mut counters, stats) = lossy_call_arrivals(&cfg);
+            fold_recovery(&mut recovery, &stats);
+            if cell.reorder_depth > 0 {
+                let (reordered, rc) = reorder_deliveries(
+                    &deliveries,
+                    ImpairConfig {
+                        reorder_prob: 0.25,
+                        reorder_depth: cell.reorder_depth,
+                        seed: seed ^ 0x5eed,
+                        ..ImpairConfig::default()
+                    },
+                );
+                deliveries = reordered;
+                counters.reordered += rc.reordered;
+            }
+            conv.push(run_discipline(
+                Discipline::Conventional,
+                seed,
+                &deliveries,
+                counters,
+                duration_s,
+            ));
+            ldlp.push(run_discipline(
+                Discipline::Ldlp(BatchPolicy::DCacheFit),
+                seed,
+                &deliveries,
+                counters,
+                duration_s,
+            ));
+        }
+        let wire = wire_exercise(ImpairConfig {
+            reorder_prob: if cell.reorder_depth > 0 { 0.25 } else { 0.0 },
+            reorder_depth: cell.reorder_depth,
+            ..cell_channel(cell, 0x0eed)
+        });
+        ImpairPoint {
+            cell,
+            conventional: SimReport::average(&conv),
+            ldlp: SimReport::average(&ldlp),
+            recovery,
+            wire,
+        }
+    }
+
+    /// Runs the sweep, one parallel job per cell, reduced in grid order
+    /// so the CSV is byte-identical for every thread count.
+    pub fn impairment_sweep(opts: &RunOpts) -> Vec<ImpairPoint> {
+        let cells = grid(opts.smoke);
+        run_indexed(cells.len(), opts.effective_threads(), |i| {
+            run_cell(cells[i], opts.seeds, opts.duration_s)
+        })
+    }
+
+    pub const IMPAIRMENTS_HEADER: [&str; 19] = [
+        "loss_pct",
+        "burst",
+        "reorder_depth",
+        "conv_throughput",
+        "ldlp_throughput",
+        "conv_goodput",
+        "ldlp_goodput",
+        "conv_latency_us",
+        "ldlp_latency_us",
+        "conv_p99_us",
+        "ldlp_p99_us",
+        "conv_rejected",
+        "ldlp_rejected",
+        "retransmits",
+        "abandoned",
+        "wire_checksum_rejects",
+        "wire_tcp_retransmits",
+        "wire_ooo_buffered",
+        "wire_reassembly_timeouts",
+    ];
+
+    pub fn impairments_rows(points: &[ImpairPoint]) -> Vec<Vec<String>> {
+        points
+            .iter()
+            .map(|p| {
+                vec![
+                    f(p.cell.loss_pct, 1),
+                    (p.cell.bursty as u8).to_string(),
+                    p.cell.reorder_depth.to_string(),
+                    f(p.conventional.throughput, 1),
+                    f(p.ldlp.throughput, 1),
+                    f(p.conventional.goodput, 1),
+                    f(p.ldlp.goodput, 1),
+                    f(p.conventional.mean_latency_us, 2),
+                    f(p.ldlp.mean_latency_us, 2),
+                    f(p.conventional.p99_latency_us, 2),
+                    f(p.ldlp.p99_latency_us, 2),
+                    p.conventional.rejected.to_string(),
+                    p.ldlp.rejected.to_string(),
+                    p.recovery.retransmits.to_string(),
+                    p.recovery.abandoned.to_string(),
+                    p.wire.checksum_rejects.to_string(),
+                    p.wire.tcp_retransmits.to_string(),
+                    p.wire.ooo_buffered.to_string(),
+                    p.wire.reassembly_timeouts.to_string(),
+                ]
             })
             .collect()
     }

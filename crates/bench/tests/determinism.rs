@@ -77,3 +77,37 @@ fn seed_average_is_thread_count_invariant() {
     assert_eq!(serial.mean_imiss.to_bits(), parallel.mean_imiss.to_bits());
     assert_eq!(serial.drops, parallel.drops);
 }
+
+#[test]
+fn impairment_sweep_csv_is_thread_count_invariant() {
+    use bench::impairments::{grid, impairment_sweep, impairments_rows, IMPAIRMENTS_HEADER};
+
+    let opts = |threads| RunOpts {
+        seeds: 1,
+        duration_s: 0.05,
+        threads: Some(threads),
+        smoke: true,
+        ..RunOpts::default()
+    };
+    let serial = impairment_sweep(&opts(1));
+    let parallel = impairment_sweep(&opts(4));
+
+    let text_serial = csv_text(&IMPAIRMENTS_HEADER, &impairments_rows(&serial));
+    let text_parallel = csv_text(&IMPAIRMENTS_HEADER, &impairments_rows(&parallel));
+    assert_eq!(
+        text_serial, text_parallel,
+        "impairments CSV differs by thread count"
+    );
+    assert_eq!(text_serial.lines().count(), grid(true).len() + 1);
+
+    // The lossy cells really did lose and recover: the zero-loss rows
+    // must show no retransmissions, the 10% rows must show plenty.
+    let clean = &serial[0];
+    assert_eq!(clean.recovery.retransmits, 0);
+    let lossy = serial
+        .iter()
+        .find(|p| p.cell.loss_pct == 10.0)
+        .expect("a 10% loss cell");
+    assert!(lossy.recovery.retransmits > 0);
+    assert!(lossy.conventional.goodput <= lossy.conventional.throughput);
+}

@@ -33,12 +33,17 @@ pub enum Discipline {
 pub struct Completion {
     /// The message's id.
     pub msg_id: u64,
-    /// Machine cycle count at which the message finished its last layer.
+    /// Machine cycle count at which the message finished its last layer
+    /// (or failed verification, for rejected messages).
     pub done_cycles: CycleCount,
     /// Instruction-cache misses attributed to this message.
     pub imisses: u64,
     /// Data-cache misses attributed to this message.
     pub dmisses: u64,
+    /// The message was corrupted on the wire: the verification layer's
+    /// checksum failed and processing stopped there. Cycles were spent,
+    /// but the message is not useful work.
+    pub rejected: bool,
 }
 
 /// Executes batches of messages through a layer stack on a machine.
@@ -57,6 +62,10 @@ pub struct StackEngine {
     tx_layers: Vec<Box<dyn SimLayer>>,
     /// Length in bytes of the generated reply (e.g. a 58-byte ACK).
     reply_len: u64,
+    /// Index of the layer whose checksum catches corrupted payloads.
+    /// Corrupted messages are processed through this layer (its code
+    /// runs, its data loop walks the damaged bytes) and then discarded.
+    verify_layer: usize,
     /// Address region replies are built in (one slot per pool entry,
     /// reused round-robin).
     reply_bufs: Vec<cachesim::Region>,
@@ -94,6 +103,7 @@ impl StackEngine {
             reply_len: 0,
             reply_bufs: Vec::new(),
             reply_next: 0,
+            verify_layer: 0,
             scratch: BatchScratch::default(),
         }
     }
@@ -101,6 +111,16 @@ impl StackEngine {
     /// Overrides the per-boundary queueing cost (default 40 instructions).
     pub fn with_queue_instr(mut self, instr: u64) -> Self {
         self.queue_instr = instr;
+        self
+    }
+
+    /// Sets the layer index whose checksum rejects corrupted messages
+    /// (default 0: the bottom layer's CRC, as in AAL5 or Ethernet+IP).
+    /// A corrupted message runs layers `0..=index` and is then dropped:
+    /// it burns cycles and cache lines but never completes or replies.
+    pub fn with_verify_layer(mut self, index: usize) -> Self {
+        assert!(index < self.layers.len(), "verify layer out of range");
+        self.verify_layer = index;
         self
     }
 
@@ -197,13 +217,19 @@ impl StackEngine {
         out.reserve(msgs.len());
         for msg in msgs {
             let (i0, d0) = self.miss_counters();
-            for li in 0..self.layers.len() {
+            // A corrupted message dies at the verification layer.
+            let top = if msg.corrupted {
+                self.verify_layer
+            } else {
+                self.layers.len() - 1
+            };
+            for li in 0..=top {
                 // Under ILP the data loop runs once (on the first layer)
                 // and performs all layers' per-byte work.
                 let touch = if integrated { li == 0 } else { true };
                 self.apply_layer(li, msg, touch, integrated && li == 0);
             }
-            if self.is_duplex() {
+            if self.is_duplex() && !msg.corrupted {
                 let reply = self.next_reply_buf();
                 for li in 0..self.tx_layers.len() {
                     self.apply_tx(li, reply);
@@ -215,6 +241,7 @@ impl StackEngine {
                 done_cycles: self.machine.cycles(),
                 imisses: i1 - i0,
                 dmisses: d1 - d0,
+                rejected: msg.corrupted,
             });
         }
     }
@@ -238,6 +265,10 @@ impl StackEngine {
         let last = self.layers.len() - 1;
         for li in 0..self.layers.len() {
             for (mi, msg) in msgs.iter().enumerate() {
+                // Corrupted messages leave the batch after verification.
+                if msg.corrupted && li > self.verify_layer {
+                    continue;
+                }
                 let (i0, d0) = self.miss_counters();
                 // Layer-boundary queueing: each message is enqueued for
                 // this layer and dequeued from the previous one.
@@ -246,7 +277,11 @@ impl StackEngine {
                 let (i1, d1) = self.miss_counters();
                 imiss[mi] += i1 - i0;
                 dmiss[mi] += d1 - d0;
-                if li == last && !self.is_duplex() {
+                // A corrupted message finishes (rejected) at the verify
+                // layer; clean simplex messages finish at the top.
+                if (msg.corrupted && li == self.verify_layer)
+                    || (li == last && !self.is_duplex())
+                {
                     done[mi] = self.machine.cycles();
                 }
             }
@@ -254,10 +289,22 @@ impl StackEngine {
         if self.is_duplex() {
             let mut replies = std::mem::take(&mut self.scratch.replies);
             replies.clear();
-            replies.extend((0..n).map(|_| self.next_reply_buf()));
+            for msg in msgs {
+                // Rejected messages generate no reply; a placeholder keeps
+                // the vector index-aligned with the batch.
+                let r = if msg.corrupted {
+                    Region::new(0, 0)
+                } else {
+                    self.next_reply_buf()
+                };
+                replies.push(r);
+            }
             let tx_last = self.tx_layers.len() - 1;
             for li in 0..self.tx_layers.len() {
                 for (mi, &reply) in replies.iter().enumerate() {
+                    if msgs[mi].corrupted {
+                        continue;
+                    }
                     let (i0, d0) = self.miss_counters();
                     self.machine.execute(self.queue_instr);
                     self.apply_tx(li, reply);
@@ -277,6 +324,7 @@ impl StackEngine {
             done_cycles: done[mi],
             imisses: imiss[mi],
             dmisses: dmiss[mi],
+            rejected: msg.corrupted,
         }));
         self.scratch.imiss = imiss;
         self.scratch.dmiss = dmiss;
@@ -536,6 +584,71 @@ mod tests {
         );
         let e = StackEngine::new(m, rx, Discipline::Ldlp(BatchPolicy::DCacheFit)).with_tx(tx, 58);
         assert_eq!(e.batch_limit(552), (8192 - 2048) / 552);
+    }
+
+    #[test]
+    fn corrupted_message_is_rejected_at_the_verify_layer() {
+        // Verification at layer 1: a corrupted message runs layers 0-1
+        // only, so it costs cycles but is flagged and generates no reply.
+        let mut pool = MessagePool::new(16, 1536, 3);
+        let mut batch = msgs(&mut pool, 3);
+        batch[1].corrupted = true;
+        let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 8);
+        let mut e = StackEngine::new(m, layers, Discipline::Conventional).with_verify_layer(1);
+        let c = e.process_batch(&batch);
+        assert!(!c[0].rejected && c[1].rejected && !c[2].rejected);
+        // The rejected message stopped early: fewer cycles than a clean
+        // one, but more than zero (the checksum walked the bytes).
+        assert!(c[1].done_cycles > c[0].done_cycles, "still processed in order");
+        assert!(c[1].imisses > 0, "verification cost real fetches");
+    }
+
+    #[test]
+    fn blocked_and_conventional_agree_on_rejection() {
+        let mk = |d: Discipline| {
+            let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 17);
+            StackEngine::new(m, layers, d).with_verify_layer(0)
+        };
+        let mut pool_a = MessagePool::new(16, 1536, 9);
+        let mut pool_b = MessagePool::new(16, 1536, 9);
+        let corrupt = |mut b: Vec<SimMessage>| {
+            b[2].corrupted = true;
+            b[5].corrupted = true;
+            b
+        };
+        let batch_a = corrupt(msgs(&mut pool_a, 8));
+        let batch_b = corrupt(msgs(&mut pool_b, 8));
+        let ca = mk(Discipline::Conventional).process_batch(&batch_a);
+        let cb = mk(Discipline::Ldlp(BatchPolicy::DCacheFit)).process_batch(&batch_b);
+        let rejected = |c: &[Completion]| -> Vec<u64> {
+            c.iter().filter(|x| x.rejected).map(|x| x.msg_id).collect()
+        };
+        assert_eq!(rejected(&ca), vec![2, 5]);
+        assert_eq!(rejected(&cb), vec![2, 5]);
+    }
+
+    #[test]
+    fn duplex_skips_replies_for_rejected_messages() {
+        let (m, rx) = paper_stack(MachineConfig::synthetic_benchmark(), 21);
+        let (_, tx) = crate::synth::stack_with(
+            MachineConfig::synthetic_benchmark(),
+            99,
+            3,
+            4 * 1024,
+            256,
+        );
+        let mut e = StackEngine::new(m, rx, Discipline::Ldlp(BatchPolicy::DCacheFit))
+            .with_tx(tx, 58)
+            .with_verify_layer(0);
+        let mut pool = MessagePool::new(16, 1536, 2);
+        let mut batch = msgs(&mut pool, 4);
+        batch[0].corrupted = true;
+        let c = e.process_batch(&batch);
+        assert!(c[0].rejected);
+        // The rejected message finished (at verification) before the
+        // clean ones, whose replies still had to descend the tx stack.
+        assert!(c[0].done_cycles < c[1].done_cycles);
+        assert_eq!(c.last().unwrap().done_cycles, e.machine().cycles());
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct SimMessage {
     pub arrival_cycles: u64,
     /// Where the message contents live.
     pub buf: Region,
+    /// The payload was damaged on the wire. The engine still spends
+    /// cycles on it up to the verification layer, where the checksum
+    /// fails and the message is discarded instead of completed.
+    pub corrupted: bool,
 }
 
 impl SimMessage {
@@ -178,6 +182,7 @@ mod tests {
             id: 3,
             arrival_cycles: 100,
             buf: Region::new(0x2000, 552),
+            corrupted: false,
         };
         assert_eq!(m.len(), 552);
         assert!(!m.is_empty());

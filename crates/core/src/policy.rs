@@ -36,6 +36,49 @@ impl BatchPolicy {
     }
 }
 
+/// What to do when a packet arrives and the adaptor buffer is full
+/// (Section 4's 500-packet NIC queue). The paper's simulator tail-drops;
+/// production adaptors differ, and under sustained overload the choice
+/// decides *which* messages survive — and therefore the latency of the
+/// ones that do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Drop the arriving packet (the paper's behaviour, and the default).
+    TailDrop,
+    /// Evict the oldest queued packet and admit the new one. Keeps the
+    /// queue full of *recent* packets, bounding the queueing delay of
+    /// everything that completes.
+    HeadDrop,
+    /// When full, shed the oldest packets down to `down_to` entries in
+    /// one sweep, then admit the arrival. Models interrupt-level buffer
+    /// reclamation: one expensive purge instead of per-packet eviction.
+    ShedOldest {
+        /// Queue length to shed down to (clamped below the capacity).
+        down_to: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Decides admission for one arrival given the current queue length
+    /// and capacity. Returns `(evict_from_front, admit_arrival)`: the
+    /// caller removes `evict_from_front` packets from the head of the
+    /// queue (counting them as shed) and then, if `admit_arrival`, pushes
+    /// the new packet at the tail.
+    pub fn admit(&self, queue_len: usize, capacity: usize) -> (usize, bool) {
+        if queue_len < capacity {
+            return (0, true);
+        }
+        match self {
+            AdmissionPolicy::TailDrop => (0, false),
+            AdmissionPolicy::HeadDrop => (1, true),
+            AdmissionPolicy::ShedOldest { down_to } => {
+                let target = (*down_to).min(capacity.saturating_sub(1));
+                (queue_len - target, true)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +106,37 @@ mod tests {
         // Messages bigger than the cache: LDLP degrades to one at a time.
         assert_eq!(BatchPolicy::DCacheFit.limit(8192, 256, 100_000), 1);
         assert_eq!(BatchPolicy::DCacheFit.limit(256, 8192, 552), 1);
+    }
+
+    #[test]
+    fn admission_under_capacity_always_admits() {
+        for p in [
+            AdmissionPolicy::TailDrop,
+            AdmissionPolicy::HeadDrop,
+            AdmissionPolicy::ShedOldest { down_to: 10 },
+        ] {
+            assert_eq!(p.admit(499, 500), (0, true));
+            assert_eq!(p.admit(0, 500), (0, true));
+        }
+    }
+
+    #[test]
+    fn tail_drop_refuses_at_capacity() {
+        assert_eq!(AdmissionPolicy::TailDrop.admit(500, 500), (0, false));
+    }
+
+    #[test]
+    fn head_drop_trades_oldest_for_newest() {
+        assert_eq!(AdmissionPolicy::HeadDrop.admit(500, 500), (1, true));
+    }
+
+    #[test]
+    fn shed_oldest_purges_to_watermark() {
+        let p = AdmissionPolicy::ShedOldest { down_to: 250 };
+        assert_eq!(p.admit(500, 500), (250, true));
+        // Watermark at or above capacity degenerates to head-drop-like
+        // eviction of at least one packet.
+        let p = AdmissionPolicy::ShedOldest { down_to: 600 };
+        assert_eq!(p.admit(500, 500), (1, true));
     }
 }

@@ -106,6 +106,7 @@ impl MessagePool {
             id,
             arrival_cycles: 0,
             buf: Region::new(buf.base, len),
+            corrupted: false,
         }
     }
 }

@@ -8,7 +8,7 @@
 //! the style of smoltcp's examples).
 
 use crate::error::{Error, Result};
-use crate::ipfrag::{fragment, parse_fragment, Reassembler};
+use crate::ipfrag::{fragment, parse_fragment, Reassembler, ReassemblyStats};
 use crate::tcp::machine::{Instant, TcpStack};
 use crate::wire::arp::{ArpOp, ArpRepr};
 use crate::wire::ethernet::{EtherType, EthernetAddr, EthernetRepr, ETHERNET_HEADER_LEN};
@@ -271,6 +271,25 @@ impl Interface {
         self.echo_replies.pop_front()
     }
 
+    /// Fragment-reassembly counters (completions, timeouts, buffer
+    /// exhaustion).
+    pub fn reassembly_stats(&self) -> ReassemblyStats {
+        self.reassembler.stats()
+    }
+
+    /// Datagrams currently held half-assembled.
+    pub fn reassembly_pending(&self) -> usize {
+        self.reassembler.pending()
+    }
+
+    /// Drops reassemblies whose timer ran out and counts them. The
+    /// reassembler also expires lazily on fragment input, but a stalled
+    /// datagram whose peers go quiet would otherwise pin its buffer
+    /// forever; [`Interface::poll`] calls this on every pass.
+    pub fn expire_reassembly(&mut self, now: Instant) {
+        self.reassembler.expire(now);
+    }
+
     /// Polls the interface: drains received frames through the stack,
     /// runs TCP timers, and flushes TCP output. Returns the number of
     /// frames processed.
@@ -282,6 +301,7 @@ impl Interface {
                 self.stats.parse_errors += 1;
             }
         }
+        self.expire_reassembly(now);
         self.tcp.poll(now);
         self.flush_tcp(device);
         processed

@@ -18,12 +18,20 @@
 //!   as a four-layer stack (AAL5/SSCOP/Q.93B codec/call control) with
 //!   realistic code footprints, and arrival generators for paired
 //!   setup/release load (experiment G1 in DESIGN.md).
+//! * [`recovery`] — loss recovery: per-call retransmit timers with
+//!   exponential backoff, and the max-retry RELEASE path that tears down
+//!   calls whose SETUP never got through — so the goal experiment can be
+//!   rerun across a lossy channel.
 
 pub mod call;
 pub mod dns;
+pub mod recovery;
 pub mod rpc;
 pub mod wire;
 pub mod workload;
 
 pub use call::{Caller, CallState, SignalingSwitch};
+pub use recovery::{
+    lossy_call_arrivals, LossyCallConfig, RecoveryStats, RetransmitTimer, RetryPolicy,
+};
 pub use wire::{Cause, InfoElement, Message, MessageType};

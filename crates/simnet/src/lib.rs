@@ -18,19 +18,28 @@
 //! * [`stats`] — report aggregation, percentiles, and a Hurst-parameter
 //!   estimator (aggregated-variance method) used to validate the
 //!   self-similar source.
+//! * [`impair`] — a deterministic, seeded impairment channel composable
+//!   in front of any traffic source: independent and Gilbert–Elliott
+//!   burst loss, payload corruption, duplication, and bounded
+//!   reordering, with counters threaded into the report.
 //! * [`par`] — a deterministic parallel executor that fans independent
 //!   (parameter, seed) simulation runs across host cores and returns
 //!   results in index order, so sweep output is byte-identical to the
 //!   serial path.
 
+pub mod impair;
 pub mod par;
 pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use impair::{
+    reorder_deliveries, GilbertElliott, ImpairConfig, ImpairCounters, ImpairedArrival,
+    ImpairedSource,
+};
 pub use par::{resolve_threads, run_indexed};
-pub use sim::{run_sim, run_sim_traced, BatchRecord, SimConfig};
-pub use stats::SimReport;
+pub use sim::{run_sim, run_sim_impaired, run_sim_traced, BatchRecord, SimConfig};
+pub use stats::{RunTally, SimReport};
 pub use traffic::{
     Arrival, MmppSource, PoissonSource, SelfSimilarSource, TraceSource, TrafficSource,
     TrainSource,

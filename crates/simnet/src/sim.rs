@@ -7,19 +7,29 @@
 //! finished, it again looks for new messages." Under light load batches
 //! are singletons; under heavy load they grow to the engine's batch cap.
 //! Messages arriving while a batch is in flight wait in the adaptor
-//! buffer, which holds at most `buffer_cap` packets (500 in the paper) —
-//! beyond that, arrivals are dropped.
+//! buffer, which holds at most `buffer_cap` packets (500 in the paper);
+//! beyond that, the configured [`AdmissionPolicy`] decides which packet
+//! loses — the arriving one (tail-drop, the paper's behaviour) or queued
+//! ones (head-drop / shed-oldest).
+//!
+//! Accounting obeys a conservation law checked at the end of every run:
+//! every offered arrival is completed, rejected at checksum verification,
+//! refused admission, shed from the queue, or still in flight. Nothing
+//! vanishes.
 
-use crate::stats::SimReport;
+use crate::impair::{ImpairCounters, ImpairedArrival};
+use crate::stats::{RunTally, SimReport};
 use crate::traffic::Arrival;
 use ldlp::synth::MessagePool;
-use ldlp::{SimMessage, StackEngine};
+use ldlp::{AdmissionPolicy, SimMessage, StackEngine};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     /// NIC buffer capacity in packets (paper: 500).
     pub buffer_cap: usize,
+    /// What to do with an arrival when the buffer is full.
+    pub admission: AdmissionPolicy,
     /// How long the arrival stream runs, in seconds.
     pub duration_s: f64,
     /// Message-buffer pool entries (ring size). Must exceed the largest
@@ -35,6 +45,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             buffer_cap: 500,
+            admission: AdmissionPolicy::TailDrop,
             duration_s: 1.0,
             pool_bufs: 64,
             pool_buf_bytes: 1536,
@@ -70,21 +81,48 @@ pub fn run_sim_traced(
     engine: &mut StackEngine,
     arrivals: &[Arrival],
     cfg: &SimConfig,
+    trace: Option<&mut Vec<BatchRecord>>,
+) -> SimReport {
+    let clean: Vec<ImpairedArrival> = arrivals.iter().copied().map(Into::into).collect();
+    run_core(engine, &clean, cfg, trace, ImpairCounters::default())
+}
+
+/// Runs a stream that already went through an impairment channel (see
+/// [`crate::impair`]): corrupted deliveries cost cycles up to the
+/// engine's verification layer and are rejected there; `net` carries the
+/// channel's drop/corrupt/duplicate counters into the report.
+pub fn run_sim_impaired(
+    engine: &mut StackEngine,
+    deliveries: &[ImpairedArrival],
+    cfg: &SimConfig,
+    net: ImpairCounters,
+) -> SimReport {
+    run_core(engine, deliveries, cfg, None, net)
+}
+
+fn run_core(
+    engine: &mut StackEngine,
+    arrivals: &[ImpairedArrival],
+    cfg: &SimConfig,
     mut trace: Option<&mut Vec<BatchRecord>>,
+    net: ImpairCounters,
 ) -> SimReport {
     let clock_mhz = engine.machine().config().clock_mhz;
     let cycles_per_s = clock_mhz * 1e6;
     let mut pool = MessagePool::new(cfg.pool_bufs, cfg.pool_buf_bytes, cfg.pool_seed);
 
-    // NIC buffer: (arrival_cycle, bytes) in arrival order.
-    let mut nic: std::collections::VecDeque<(u64, u32)> =
+    // NIC buffer: (arrival_cycle, bytes, corrupted) in arrival order.
+    let mut nic: std::collections::VecDeque<(u64, u32, bool)> =
         std::collections::VecDeque::with_capacity(cfg.buffer_cap);
 
     let mut latencies_us: Vec<f64> = Vec::with_capacity(arrivals.len());
     let mut imisses: Vec<u64> = Vec::with_capacity(arrivals.len());
     let mut dmisses: Vec<u64> = Vec::with_capacity(arrivals.len());
     let mut drops = 0u64;
+    let mut shed = 0u64;
+    let mut rejected = 0u64;
     let mut batches = 0u64;
+    let mut last_finish: u64 = 0;
 
     let mut next_arrival = 0usize;
     // Simulation clock in cycles. The machine's own cycle counter only
@@ -99,14 +137,19 @@ pub fn run_sim_traced(
     let mut completions: Vec<ldlp::Completion> = Vec::with_capacity(cfg.pool_bufs);
 
     let arrival_cycle =
-        |a: &Arrival| -> u64 { (a.time_s * cycles_per_s).round() as u64 };
+        |a: &ImpairedArrival| -> u64 { (a.time_s * cycles_per_s).round() as u64 };
 
     loop {
         // Admit everything that has arrived by `now`.
         while next_arrival < arrivals.len() && arrival_cycle(&arrivals[next_arrival]) <= now {
             let a = &arrivals[next_arrival];
-            if nic.len() < cfg.buffer_cap {
-                nic.push_back((arrival_cycle(a), a.bytes));
+            let (evict, admit) = cfg.admission.admit(nic.len(), cfg.buffer_cap);
+            for _ in 0..evict {
+                nic.pop_front();
+                shed += 1;
+            }
+            if admit {
+                nic.push_back((arrival_cycle(a), a.bytes, a.corrupted));
             } else {
                 drops += 1;
             }
@@ -127,7 +170,7 @@ pub fn run_sim_traced(
 
         // Form a batch: up to the engine's cap, sized by the *largest*
         // message in the candidate set (conservative for mixed sizes).
-        let max_bytes = nic.iter().map(|&(_, b)| b).max().expect("nonempty") as u64;
+        let max_bytes = nic.iter().map(|&(_, b, _)| b).max().expect("nonempty") as u64;
         let limit = engine
             .batch_limit(max_bytes)
             .min(nic.len())
@@ -135,9 +178,10 @@ pub fn run_sim_traced(
         batch.clear();
         batch_arrivals.clear();
         for _ in 0..limit {
-            let (arr, bytes) = nic.pop_front().expect("limit <= len");
+            let (arr, bytes, corrupted) = nic.pop_front().expect("limit <= len");
             let mut m = pool.make_message(msg_id, bytes as u64);
             m.arrival_cycles = arr;
+            m.corrupted = corrupted;
             msg_id += 1;
             batch.push(m);
             batch_arrivals.push(arr);
@@ -159,27 +203,53 @@ pub fn run_sim_traced(
         let offset = now - machine_before;
         for (c, &arr) in completions.iter().zip(&batch_arrivals) {
             let finish = c.done_cycles + offset;
-            let lat_cycles = finish.saturating_sub(arr);
-            latencies_us.push(lat_cycles as f64 / clock_mhz);
+            last_finish = last_finish.max(finish);
+            // Cycles and misses are spent either way; only clean
+            // completions count as useful work with a latency sample.
             imisses.push(c.imisses);
             dmisses.push(c.dmisses);
+            if c.rejected {
+                rejected += 1;
+            } else {
+                let lat_cycles = finish.saturating_sub(arr);
+                latencies_us.push(lat_cycles as f64 / clock_mhz);
+            }
         }
         now += machine_after - machine_before;
     }
+
+    let offered = arrivals.len() as u64;
+    let in_flight = nic.len() as u64;
+    let completed = latencies_us.len() as u64;
+    assert_eq!(
+        offered,
+        completed + rejected + drops + shed + in_flight,
+        "conservation violated: offered {offered} != completed {completed} \
+         + rejected {rejected} + drops {drops} + shed {shed} + in-flight {in_flight}"
+    );
 
     SimReport::from_samples(
         &mut latencies_us,
         &imisses,
         &dmisses,
-        drops,
-        cfg.duration_s,
-        batches,
+        RunTally {
+            offered,
+            rejected,
+            drops,
+            shed,
+            in_flight,
+            duration_s: cfg.duration_s,
+            span_s: last_finish as f64 / cycles_per_s,
+            batches,
+            net,
+        },
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impair::{impair_arrivals, ImpairConfig};
     use crate::traffic::{ConstantSource, PoissonSource, TrafficSource};
     use cachesim::MachineConfig;
     use ldlp::synth::paper_stack;
@@ -202,6 +272,7 @@ mod tests {
         let r = run_sim(&mut e, &arrivals, &cfg);
         assert_eq!(r.completed, 49);
         assert_eq!(r.drops, 0);
+        assert!(r.conservation_holds());
         // Service time: 5 x 1652 instruction cycles + ~1000 misses x 20
         // at 100 MHz => roughly 280 us; queueing is zero.
         assert!(
@@ -210,6 +281,10 @@ mod tests {
             r.mean_latency_us
         );
         assert!((r.mean_batch - 1.0).abs() < 1e-9, "no batching at light load");
+        // The queue never builds up, so the span is the arrival window
+        // (to within one service time) and goodput equals throughput.
+        assert!(r.span_s < 0.5 + 0.001, "span {} s", r.span_s);
+        assert_eq!(r.goodput, r.throughput);
     }
 
     #[test]
@@ -223,9 +298,30 @@ mod tests {
         };
         let r = run_sim(&mut e, &arrivals, &cfg);
         assert!(r.drops > 0, "expected drops at 2x capacity");
+        assert!(r.conservation_holds());
         // Latency is bounded by the 500-packet buffer (~500 x 285 us).
         assert!(r.max_latency_us < 500.0 * 400.0);
         assert!(r.mean_latency_us > 10_000.0, "deep queueing expected");
+    }
+
+    #[test]
+    fn overloaded_throughput_is_measured_over_the_drain_span() {
+        // The 500-packet backlog drains past the arrival window; the
+        // old accounting divided by the window and inflated throughput.
+        let mut e = engine(Discipline::Conventional, 1);
+        let arrivals = PoissonSource::new(8000.0, 552, 3).take_until(0.5);
+        let cfg = SimConfig {
+            duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        let r = run_sim(&mut e, &arrivals, &cfg);
+        assert!(r.span_s > 0.5, "backlog must drain past the window");
+        assert!(
+            r.throughput < r.completed as f64 / cfg.duration_s,
+            "span-based throughput must undercut the inflated figure"
+        );
+        assert!(r.offered_load > 7000.0, "offered {} msg/s", r.offered_load);
+        assert!(r.throughput < 4000.0, "conventional saturates near 3500/s");
     }
 
     #[test]
@@ -257,6 +353,7 @@ mod tests {
         let r = run_sim(&mut e, &[], &SimConfig::default());
         assert_eq!(r.completed, 0);
         assert_eq!(r.drops, 0);
+        assert!(r.conservation_holds());
     }
 
     #[test]
@@ -285,6 +382,76 @@ mod tests {
         assert_eq!(r1.completed, r2.completed);
         assert_eq!(r1.mean_latency_us, r2.mean_latency_us);
         assert_eq!(r1.mean_imiss, r2.mean_imiss);
+    }
+
+    #[test]
+    fn head_drop_bounds_the_latency_of_survivors() {
+        // Same overload, two policies. Tail-drop keeps the oldest
+        // packets (deep queueing for everything that completes);
+        // head-drop keeps the freshest, so survivors wait less.
+        let arrivals = PoissonSource::new(9000.0, 552, 7).take_until(0.4);
+        let base = SimConfig {
+            duration_s: 0.4,
+            ..SimConfig::default()
+        };
+        let mut e1 = engine(Discipline::Conventional, 1);
+        let tail = run_sim(&mut e1, &arrivals, &base);
+        let cfg = SimConfig {
+            admission: AdmissionPolicy::HeadDrop,
+            ..base
+        };
+        let mut e2 = engine(Discipline::Conventional, 1);
+        let head = run_sim(&mut e2, &arrivals, &cfg);
+        assert!(tail.conservation_holds());
+        assert!(head.conservation_holds());
+        assert!(tail.drops > 0 && head.shed > 0, "both policies lose packets");
+        assert_eq!(head.drops, 0, "head-drop always admits the arrival");
+        assert!(
+            head.mean_latency_us < tail.mean_latency_us,
+            "head-drop survivors {} us should wait less than tail-drop {} us",
+            head.mean_latency_us,
+            tail.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn shed_oldest_purges_in_sweeps_and_conserves() {
+        let arrivals = PoissonSource::new(9000.0, 552, 7).take_until(0.3);
+        let cfg = SimConfig {
+            admission: AdmissionPolicy::ShedOldest { down_to: 100 },
+            duration_s: 0.3,
+            ..SimConfig::default()
+        };
+        let mut e = engine(Discipline::Conventional, 1);
+        let r = run_sim(&mut e, &arrivals, &cfg);
+        assert!(r.conservation_holds());
+        assert_eq!(r.drops, 0);
+        assert!(r.shed > 0, "overload must trigger shedding");
+        // Shedding happens 400-at-a-time, so the shed count is a
+        // multiple of the purge size.
+        assert_eq!(r.shed % 400, 0, "shed {} in sweeps of 400", r.shed);
+    }
+
+    #[test]
+    fn corrupted_deliveries_cost_cycles_but_do_not_complete() {
+        let arrivals = ConstantSource::new(0.001, 552).take_until(0.3);
+        let cfg = SimConfig {
+            duration_s: 0.3,
+            ..SimConfig::default()
+        };
+        let chan = ImpairConfig {
+            corrupt_prob: 0.2,
+            seed: 5,
+            ..ImpairConfig::default()
+        };
+        let (deliveries, counters) = impair_arrivals(&arrivals, chan);
+        let mut e = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 1);
+        let r = run_sim_impaired(&mut e, &deliveries, &cfg, counters);
+        assert!(r.conservation_holds());
+        assert_eq!(r.rejected, counters.corrupted, "every corrupt delivery rejects");
+        assert_eq!(r.completed + r.rejected, deliveries.len() as u64);
+        assert_eq!(r.net_corrupted, counters.corrupted);
+        assert!(r.goodput < r.throughput, "rejected work is not goodput");
     }
 }
 

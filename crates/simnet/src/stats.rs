@@ -1,15 +1,71 @@
 //! Statistics: latency distributions, per-message miss averages, and a
 //! Hurst-parameter estimator for validating the self-similar source.
+//!
+//! Accounting here is conservation-law truthful: every arrival the
+//! simulator was offered is classified as completed, rejected (checksum
+//! failure), dropped (refused admission), shed (evicted by the admission
+//! policy), or left in flight — and [`SimReport::conservation_holds`]
+//! checks that the books balance. Rates are computed over the *actual
+//! processing span* (arrival window plus drain time), not the arrival
+//! window, so an overloaded run can no longer report a throughput it
+//! never achieved.
+
+use crate::impair::ImpairCounters;
+use std::fmt;
+
+/// Raw run-level tallies handed to [`SimReport::from_samples`] alongside
+/// the per-message samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTally {
+    /// Arrivals presented to the NIC (after any impairment channel).
+    pub offered: u64,
+    /// Messages processed but discarded at checksum verification.
+    pub rejected: u64,
+    /// Arrivals refused admission because the buffer was full.
+    pub drops: u64,
+    /// Queued packets evicted by the admission policy to make room.
+    pub shed: u64,
+    /// Packets still queued when the run ended.
+    pub in_flight: u64,
+    /// Arrival window in seconds.
+    pub duration_s: f64,
+    /// Actual span from start to the last completion, in seconds. Values
+    /// <= 0 fall back to `duration_s` (e.g. a run with no completions).
+    pub span_s: f64,
+    /// Batches processed.
+    pub batches: u64,
+    /// What the impairment channel did upstream of the NIC.
+    pub net: ImpairCounters,
+}
 
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
-    /// Messages fully processed.
+    /// Messages fully processed and delivered.
     pub completed: u64,
+    /// Messages processed up to checksum verification and discarded
+    /// there (cycles spent, no useful work).
+    pub rejected: u64,
     /// Arrivals dropped because the NIC buffer was full.
     pub drops: u64,
+    /// Queued packets evicted by the admission policy.
+    pub shed: u64,
+    /// Packets still queued when the run ended.
+    pub in_flight: u64,
+    /// Arrivals presented to the NIC.
+    pub offered: u64,
+    /// Packets the impairment channel lost upstream of the NIC.
+    pub net_dropped: u64,
+    /// Packets the impairment channel delivered with damaged payloads.
+    pub net_corrupted: u64,
+    /// Extra copies the impairment channel injected.
+    pub net_duplicated: u64,
     /// Run length in seconds (the span arrivals were drawn over).
     pub duration_s: f64,
+    /// Start-to-last-completion span in seconds; equals `duration_s`
+    /// when the queue drains inside the arrival window, exceeds it when
+    /// the backlog drains past the end.
+    pub span_s: f64,
     /// Mean latency (arrival to last-layer completion) in microseconds.
     pub mean_latency_us: f64,
     /// Median latency in microseconds.
@@ -22,8 +78,13 @@ pub struct SimReport {
     pub mean_imiss: f64,
     /// Mean data-cache misses per message.
     pub mean_dmiss: f64,
-    /// Completed messages per second.
+    /// Messages processed (completed + rejected) per second of `span_s`.
     pub throughput: f64,
+    /// *Useful* completions per second of `span_s` — excludes rejected
+    /// messages, which consumed cycles but delivered nothing.
+    pub goodput: f64,
+    /// Arrivals per second of the arrival window (`offered / duration_s`).
+    pub offered_load: f64,
     /// Mean batch size over all processed batches.
     pub mean_batch: f64,
     /// Standard deviation of `mean_latency_us` across the averaged runs
@@ -34,59 +95,97 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Builds a report from raw per-message observations.
+    /// Builds a report from raw per-message observations. `latencies_us`
+    /// holds one sample per *completed* (not rejected) message.
     pub fn from_samples(
         latencies_us: &mut [f64],
         imisses: &[u64],
         dmisses: &[u64],
-        drops: u64,
-        duration_s: f64,
-        batches: u64,
+        tally: RunTally,
     ) -> SimReport {
+        let span_s = if tally.span_s > 0.0 {
+            tally.span_s
+        } else {
+            tally.duration_s
+        };
+        let offered_load = if tally.duration_s > 0.0 {
+            tally.offered as f64 / tally.duration_s
+        } else {
+            0.0
+        };
         let n = latencies_us.len();
-        if n == 0 {
-            return SimReport {
-                drops,
-                duration_s,
-                ..SimReport::default()
-            };
-        }
-        latencies_us.sort_by(|a, b| a.total_cmp(b));
-        let mean = latencies_us.iter().sum::<f64>() / n as f64;
-        SimReport {
+        let processed = n as u64 + tally.rejected;
+        let mut r = SimReport {
             completed: n as u64,
-            drops,
-            duration_s,
-            mean_latency_us: mean,
-            p50_latency_us: percentile(latencies_us, 0.50),
-            p99_latency_us: percentile(latencies_us, 0.99),
-            max_latency_us: *latencies_us.last().expect("n > 0"),
-            mean_imiss: imisses.iter().sum::<u64>() as f64 / n as f64,
-            mean_dmiss: dmisses.iter().sum::<u64>() as f64 / n as f64,
-            throughput: n as f64 / duration_s,
-            mean_batch: if batches == 0 {
+            rejected: tally.rejected,
+            drops: tally.drops,
+            shed: tally.shed,
+            in_flight: tally.in_flight,
+            offered: tally.offered,
+            net_dropped: tally.net.dropped,
+            net_corrupted: tally.net.corrupted,
+            net_duplicated: tally.net.duplicated,
+            duration_s: tally.duration_s,
+            span_s,
+            throughput: processed as f64 / span_s,
+            goodput: n as f64 / span_s,
+            offered_load,
+            mean_batch: if tally.batches == 0 {
                 0.0
             } else {
-                n as f64 / batches as f64
+                processed as f64 / tally.batches as f64
             },
-            latency_std_us: 0.0,
-            imiss_std: 0.0,
+            ..SimReport::default()
+        };
+        if n == 0 {
+            return r;
         }
+        // Misses are recorded for every processed message (rejected ones
+        // still cost cache lines), so these slices can be longer than
+        // the latency sample set.
+        let miss_n = imisses.len().max(1) as f64;
+        latencies_us.sort_by(|a, b| a.total_cmp(b));
+        r.mean_latency_us = latencies_us.iter().sum::<f64>() / n as f64;
+        r.p50_latency_us = percentile(latencies_us, 0.50);
+        r.p99_latency_us = percentile(latencies_us, 0.99);
+        r.max_latency_us = *latencies_us.last().expect("n > 0");
+        r.mean_imiss = imisses.iter().sum::<u64>() as f64 / miss_n;
+        r.mean_dmiss = dmisses.iter().sum::<u64>() as f64 / miss_n;
+        r
+    }
+
+    /// True iff every offered arrival is accounted for exactly once:
+    /// `offered == completed + rejected + drops + shed + in_flight`.
+    pub fn conservation_holds(&self) -> bool {
+        self.offered == self.completed + self.rejected + self.drops + self.shed + self.in_flight
     }
 
     /// Averages several reports (e.g. over random placements), weighting
-    /// each run equally as the paper does.
+    /// each run equally as the paper does. Counter fields become rounded
+    /// per-run means, so conservation is checked per run, not on the
+    /// average.
     pub fn average(reports: &[SimReport]) -> SimReport {
         let n = reports.len().max(1) as f64;
         let sum = |f: fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let sum_u = |f: fn(&SimReport) -> u64| {
+            (reports.iter().map(f).sum::<u64>() as f64 / n) as u64
+        };
         let std = |f: fn(&SimReport) -> f64| {
             let mean = reports.iter().map(f).sum::<f64>() / n;
             (reports.iter().map(|r| (f(r) - mean).powi(2)).sum::<f64>() / n).sqrt()
         };
         SimReport {
-            completed: (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n) as u64,
-            drops: (reports.iter().map(|r| r.drops).sum::<u64>() as f64 / n) as u64,
+            completed: sum_u(|r| r.completed),
+            rejected: sum_u(|r| r.rejected),
+            drops: sum_u(|r| r.drops),
+            shed: sum_u(|r| r.shed),
+            in_flight: sum_u(|r| r.in_flight),
+            offered: sum_u(|r| r.offered),
+            net_dropped: sum_u(|r| r.net_dropped),
+            net_corrupted: sum_u(|r| r.net_corrupted),
+            net_duplicated: sum_u(|r| r.net_duplicated),
             duration_s: sum(|r| r.duration_s),
+            span_s: sum(|r| r.span_s),
             mean_latency_us: sum(|r| r.mean_latency_us),
             p50_latency_us: sum(|r| r.p50_latency_us),
             p99_latency_us: sum(|r| r.p99_latency_us),
@@ -94,6 +193,8 @@ impl SimReport {
             mean_imiss: sum(|r| r.mean_imiss),
             mean_dmiss: sum(|r| r.mean_dmiss),
             throughput: sum(|r| r.throughput),
+            goodput: sum(|r| r.goodput),
+            offered_load: sum(|r| r.offered_load),
             mean_batch: sum(|r| r.mean_batch),
             latency_std_us: std(|r| r.mean_latency_us),
             imiss_std: std(|r| r.mean_imiss),
@@ -101,21 +202,75 @@ impl SimReport {
     }
 }
 
-/// Percentile of an ascending-sorted slice, `q` in [0, 1].
+/// Percentile of an ascending-sorted slice, `q` in [0, 1], with linear
+/// interpolation between ranks. (Nearest-rank rounding collapsed p99 to
+/// the maximum for fewer than ~67 samples — a short run's tail latency
+/// was whatever its single worst message happened to be.)
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = (sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi.min(sorted.len() - 1)] * frac
 }
+
+/// Why a Hurst estimate could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HurstError {
+    /// The count series is too short for the aggregated-variance method.
+    TooShort {
+        /// Number of samples supplied.
+        len: usize,
+        /// Minimum the estimator needs.
+        need: usize,
+    },
+    /// Fewer than two usable variance points (e.g. a constant series),
+    /// so the log-log regression has no defined slope.
+    DegenerateVariance,
+}
+
+impl fmt::Display for HurstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HurstError::TooShort { len, need } => write!(
+                f,
+                "count series of {len} samples is too short for the \
+                 aggregated-variance estimator (need at least {need})"
+            ),
+            HurstError::DegenerateVariance => write!(
+                f,
+                "fewer than two non-zero variance points; the series is \
+                 (nearly) constant and has no defined scaling slope"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HurstError {}
+
+/// Minimum count-series length [`estimate_hurst`] accepts.
+pub const HURST_MIN_SAMPLES: usize = 64;
 
 /// Estimates the Hurst parameter of a count process by the
 /// aggregated-variance method: for self-similar traffic the variance of
 /// the aggregated series at block size `m` scales as `m^(2H-2)`; a
 /// least-squares fit of `log Var(m)` against `log m` gives `H`.
-pub fn estimate_hurst(counts: &[f64]) -> f64 {
-    assert!(counts.len() >= 64, "need a reasonably long count series");
+///
+/// Returns an error (rather than a silent NaN) when the series is too
+/// short or so close to constant that the regression is undefined.
+pub fn estimate_hurst(counts: &[f64]) -> Result<f64, HurstError> {
+    if counts.len() < HURST_MIN_SAMPLES {
+        return Err(HurstError::TooShort {
+            len: counts.len(),
+            need: HURST_MIN_SAMPLES,
+        });
+    }
     let mean_all = counts.iter().sum::<f64>() / counts.len() as f64;
     let mut points = Vec::new();
     let mut m = 1usize;
@@ -138,14 +293,27 @@ pub fn estimate_hurst(counts: &[f64]) -> f64 {
     let sy: f64 = points.iter().map(|p| p.1).sum();
     let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
-    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
-    1.0 + slope / 2.0
+    let denom = n * sxx - sx * sx;
+    if points.len() < 2 || denom.abs() < f64::EPSILON {
+        return Err(HurstError::DegenerateVariance);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Ok(1.0 + slope / 2.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::traffic::{PoissonSource, SelfSimilarSource, TrafficSource};
+
+    fn tally(drops: u64, duration_s: f64, batches: u64) -> RunTally {
+        RunTally {
+            drops,
+            duration_s,
+            batches,
+            ..RunTally::default()
+        }
+    }
 
     #[test]
     fn percentile_basics() {
@@ -157,9 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn percentile_interpolates_between_ranks() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // Rank (5-1)*0.99 = 3.96: between 4.0 and 5.0, not clamped to max.
+        assert!((percentile(&v, 0.99) - 4.96).abs() < 1e-12);
+        assert!((percentile(&v, 0.25) - 2.0).abs() < 1e-12);
+        // Two samples: the median is their midpoint.
+        assert_eq!(percentile(&[10.0, 20.0], 0.5), 15.0);
+    }
+
+    #[test]
+    fn p99_no_longer_collapses_to_max_for_small_n() {
+        // 50 samples with one huge outlier: nearest-rank rounding used to
+        // report the outlier as p99; interpolation stays below it.
+        let mut v: Vec<f64> = (0..49).map(|i| i as f64).collect();
+        v.push(10_000.0);
+        let p99 = percentile(&v, 0.99);
+        assert!(p99 < 10_000.0, "p99 {p99} must not equal the max");
+        assert!(p99 > 48.0);
+    }
+
+    #[test]
     fn report_from_samples() {
         let mut lat = vec![3.0, 1.0, 2.0];
-        let r = SimReport::from_samples(&mut lat, &[10, 20, 30], &[1, 2, 3], 5, 1.0, 2);
+        let r = SimReport::from_samples(&mut lat, &[10, 20, 30], &[1, 2, 3], tally(5, 1.0, 2));
         assert_eq!(r.completed, 3);
         assert_eq!(r.drops, 5);
         assert_eq!(r.mean_latency_us, 2.0);
@@ -167,15 +356,74 @@ mod tests {
         assert_eq!(r.max_latency_us, 3.0);
         assert_eq!(r.mean_imiss, 20.0);
         assert_eq!(r.throughput, 3.0);
+        assert_eq!(r.goodput, 3.0);
         assert_eq!(r.mean_batch, 1.5);
     }
 
     #[test]
+    fn throughput_uses_the_actual_span_not_the_arrival_window() {
+        // 100 completions whose processing drained 1 s past the 1 s
+        // arrival window: the old accounting claimed 100 msg/s, double
+        // the rate the machine actually sustained.
+        let mut lat: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let im = vec![0u64; 100];
+        let t = RunTally {
+            offered: 100,
+            duration_s: 1.0,
+            span_s: 2.0,
+            batches: 100,
+            ..RunTally::default()
+        };
+        let r = SimReport::from_samples(&mut lat, &im, &im, t);
+        assert_eq!(r.throughput, 50.0);
+        assert_eq!(r.goodput, 50.0);
+        assert_eq!(r.offered_load, 100.0);
+        assert_eq!(r.span_s, 2.0);
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn rejected_messages_count_in_throughput_but_not_goodput() {
+        let mut lat = vec![1.0, 2.0];
+        let im = [5u64, 5, 5];
+        let t = RunTally {
+            offered: 3,
+            rejected: 1,
+            duration_s: 1.0,
+            span_s: 1.0,
+            batches: 3,
+            ..RunTally::default()
+        };
+        let r = SimReport::from_samples(&mut lat, &im, &im, t);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.throughput, 3.0, "rejected work still consumed the machine");
+        assert_eq!(r.goodput, 2.0, "but it is not useful output");
+        assert_eq!(r.mean_imiss, 5.0, "misses averaged over all processed");
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn conservation_detects_lost_arrivals() {
+        let t = RunTally {
+            offered: 10,
+            drops: 2,
+            duration_s: 1.0,
+            ..RunTally::default()
+        };
+        let mut lat = vec![1.0; 7];
+        let im = vec![0u64; 7];
+        let r = SimReport::from_samples(&mut lat, &im, &im, t);
+        assert!(!r.conservation_holds(), "7 + 2 != 10: one arrival vanished");
+    }
+
+    #[test]
     fn empty_report_is_safe() {
-        let r = SimReport::from_samples(&mut [], &[], &[], 7, 1.0, 0);
+        let r = SimReport::from_samples(&mut [], &[], &[], tally(7, 1.0, 0));
         assert_eq!(r.completed, 0);
         assert_eq!(r.drops, 7);
         assert_eq!(r.mean_latency_us, 0.0);
+        assert_eq!(r.span_s, 1.0, "span falls back to the arrival window");
     }
 
     #[test]
@@ -183,16 +431,19 @@ mod tests {
         let a = SimReport {
             mean_latency_us: 10.0,
             completed: 100,
+            goodput: 50.0,
             ..SimReport::default()
         };
         let b = SimReport {
             mean_latency_us: 30.0,
             completed: 200,
+            goodput: 150.0,
             ..SimReport::default()
         };
         let avg = SimReport::average(&[a, b]);
         assert_eq!(avg.mean_latency_us, 20.0);
         assert_eq!(avg.completed, 150);
+        assert_eq!(avg.goodput, 100.0);
         assert_eq!(avg.latency_std_us, 10.0, "population std of 10 and 30");
     }
 
@@ -212,10 +463,31 @@ mod tests {
     fn hurst_separates_poisson_from_self_similar() {
         let poisson = PoissonSource::new(2000.0, 552, 2).take_until(60.0);
         let selfsim = SelfSimilarSource::bellcore_like(2).take_until(60.0);
-        let hp = estimate_hurst(&count_series(&poisson, 0.01, 60.0));
-        let hs = estimate_hurst(&count_series(&selfsim, 0.01, 60.0));
+        let hp = estimate_hurst(&count_series(&poisson, 0.01, 60.0)).expect("long series");
+        let hs = estimate_hurst(&count_series(&selfsim, 0.01, 60.0)).expect("long series");
         assert!(hp < 0.65, "poisson H estimate {hp} should be near 0.5");
         assert!(hs > 0.7, "self-similar H estimate {hs} should be near 0.8");
         assert!(hs > hp + 0.1);
+    }
+
+    #[test]
+    fn hurst_rejects_short_series_instead_of_panicking() {
+        let err = estimate_hurst(&[1.0; 10]).unwrap_err();
+        assert_eq!(
+            err,
+            HurstError::TooShort {
+                len: 10,
+                need: HURST_MIN_SAMPLES
+            }
+        );
+        assert!(err.to_string().contains("too short"));
+    }
+
+    #[test]
+    fn hurst_rejects_constant_series_instead_of_nan() {
+        // A constant series has zero variance at every block size: the
+        // old code silently returned NaN here.
+        let err = estimate_hurst(&[5.0; 256]).unwrap_err();
+        assert_eq!(err, HurstError::DegenerateVariance);
     }
 }

@@ -3,6 +3,7 @@
 //! fault-injection style).
 
 use netstack::iface::{Channel, Device, FaultConfig, Interface};
+use netstack::ipfrag::REASSEMBLY_TIMEOUT_MS;
 use netstack::tcp::machine::{TcpConfig, TcpEvent, TcpStack};
 use netstack::tcp::pcb::TcpState;
 use netstack::wire::ethernet::EthernetAddr;
@@ -234,6 +235,118 @@ fn loopback_device_carries_self_traffic() {
     a.poll(&mut lo, 0);
     let reply = a.take_echo_reply().expect("self-ping answered");
     assert_eq!(reply.payload, b"self");
+}
+
+#[test]
+fn ip_reassembly_times_out_and_reclaims_the_buffer() {
+    let (mut ad, mut bd) = Channel::pair();
+    let mut a = host(1);
+    let mut b = host(2);
+    let (b_ip, b_mac, a_ip, a_mac) = (b.ip(), b.mac(), a.ip(), a.mac());
+    a.add_arp_entry(b_ip, b_mac);
+    b.add_arp_entry(a_ip, a_mac);
+    b.udp_bind(4000).unwrap();
+
+    // A 3000-byte datagram fragments into three pieces on a 1500 MTU.
+    a.udp_send(&mut ad, 4001, b_ip, 4000, &[0xab; 3000]);
+    assert!(a.stats().fragments_out >= 3, "datagram was fragmented");
+    // The first fragment falls on the floor; the rest arrive.
+    bd.receive().expect("fragment in flight");
+    b.poll(&mut bd, 0);
+    assert_eq!(b.reassembly_pending(), 1, "half a datagram is buffered");
+    assert!(b.udp_recv(4000).is_none(), "incomplete datagram not delivered");
+
+    // Nothing further arrives; the reassembly timer fires on a later
+    // idle poll and reclaims the buffer.
+    b.poll(&mut bd, REASSEMBLY_TIMEOUT_MS + 1);
+    assert_eq!(b.reassembly_pending(), 0, "stalled reassembly reclaimed");
+    assert_eq!(b.reassembly_stats().timeouts, 1);
+    assert_eq!(b.reassembly_stats().datagrams_completed, 0);
+    assert!(b.udp_recv(4000).is_none(), "expired fragments yield nothing");
+
+    // A fresh, complete datagram still reassembles afterwards.
+    a.udp_send(&mut ad, 4001, b_ip, 4000, &[0xcd; 3000]);
+    b.poll(&mut bd, REASSEMBLY_TIMEOUT_MS + 2);
+    let dg = b.udp_recv(4000).expect("post-timeout datagram reassembled");
+    assert_eq!(dg.payload.len(), 3000);
+    assert!(dg.payload.iter().all(|&x| x == 0xcd));
+    assert_eq!(b.reassembly_stats().datagrams_completed, 1);
+}
+
+#[test]
+fn tcp_buffers_out_of_order_segments_and_delivers_in_order() {
+    let (mut ad, mut bd) = Channel::pair();
+    let mut a = host(1);
+    let mut b = host(2);
+    let (b_ip, b_mac, a_ip, a_mac) = (b.ip(), b.mac(), a.ip(), a.mac());
+    a.add_arp_entry(b_ip, b_mac);
+    b.add_arp_entry(a_ip, a_mac);
+    b.tcp.listen(b_ip, 9).unwrap();
+    let conn = a.tcp.connect(a_ip, b_ip, 9, 0).unwrap();
+    settle(&mut a, &mut ad, &mut b, &mut bd, 0);
+    assert_eq!(a.tcp.state(conn), TcpState::Established);
+    let srv = accepted_socket(&mut b);
+
+    // Two segments, flushed separately so each rides its own frame...
+    a.tcp.send(conn, b"first.", 1).unwrap();
+    a.tcp.send(conn, b"second", 1).unwrap();
+    a.flush_tcp(&mut ad);
+    let f1 = bd.receive().expect("segment 1");
+    let f2 = bd.receive().expect("segment 2");
+    assert!(bd.receive().is_none(), "exactly two segments in flight");
+
+    // ...delivered to the receiver in the wrong order. The second
+    // segment lands beyond rcv_nxt and must be buffered, not dropped.
+    b.input_frame(&mut bd, &f2, 1).unwrap();
+    assert_eq!(b.tcp.stats().ooo_buffered, 1, "gap segment buffered");
+    assert_eq!(b.tcp.recv_available(srv), 0, "nothing readable past the gap");
+    b.input_frame(&mut bd, &f1, 1).unwrap();
+    settle(&mut a, &mut ad, &mut b, &mut bd, 1);
+
+    let mut buf = [0u8; 32];
+    let n = b.tcp.recv(srv, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"first.second", "stream healed in order");
+
+    // A verbatim duplicate of an already-consumed segment is discarded.
+    b.input_frame(&mut bd, &f1, 1).unwrap();
+    settle(&mut a, &mut ad, &mut b, &mut bd, 1);
+    assert_eq!(b.tcp.recv_available(srv), 0, "duplicate delivered no bytes");
+}
+
+#[test]
+fn corrupted_frames_are_rejected_by_checksum_not_delivered() {
+    // Corrupt every frame: the payload byte flip must be caught by the
+    // UDP checksum and counted, and no damaged datagram may surface.
+    let (mut ad, mut bd) = Channel::pair_with_faults(Some(FaultConfig {
+        drop_every: 0,
+        corrupt_every: 1,
+    }));
+    let mut a = host(1);
+    let mut b = host(2);
+    let (b_ip, b_mac, a_ip, a_mac) = (b.ip(), b.mac(), a.ip(), a.mac());
+    a.add_arp_entry(b_ip, b_mac);
+    b.add_arp_entry(a_ip, a_mac);
+    b.udp_bind(4000).unwrap();
+
+    for i in 0..5u8 {
+        a.udp_send(&mut ad, 4001, b_ip, 4000, &[i; 64]);
+    }
+    b.poll(&mut bd, 0);
+    assert!(b.udp_recv(4000).is_none(), "no corrupted datagram delivered");
+    assert_eq!(b.stats().parse_errors, 5, "every flipped frame was rejected");
+
+    // The same traffic over a clean link goes straight through.
+    let (mut ad2, mut bd2) = Channel::pair();
+    for i in 0..5u8 {
+        a.udp_send(&mut ad2, 4001, b_ip, 4000, &[i; 64]);
+    }
+    b.poll(&mut bd2, 0);
+    let mut got = 0;
+    while let Some(dg) = b.udp_recv(4000) {
+        assert_eq!(dg.payload.len(), 64);
+        got += 1;
+    }
+    assert_eq!(got, 5);
 }
 
 #[test]
