@@ -1,0 +1,66 @@
+//! R5 `float-reduction` — files that fan work across the parallel
+//! sweep executor must not reduce `f64`s ad hoc.
+//!
+//! Float addition is not associative: a `sum::<f64>()` or `fold` whose
+//! operand order depends on scheduling produces different bits on
+//! different thread counts, which is exactly what the byte-identical
+//! CSV contract forbids. `simnet::par::run_indexed` already hands
+//! results back in index order, and the blessed seed-order reduction
+//! helpers (`SimReport::average` and friends in `simnet::stats`) fold
+//! them left-to-right; everything else in a par-consuming file is a
+//! hazard until reviewed.
+//!
+//! Scope: non-test library code, in the simulation crates plus
+//! `bench` (whose `sweep`/`impair` modules are the main consumers),
+//! restricted to files that reference the parallel executor at all.
+//! `crates/simnet/src/stats.rs` is the blessed reduction module and is
+//! exempt.
+
+use super::{RawFinding, RULE_FLOAT_REDUCTION};
+use crate::source::{FileRole, SourceFile};
+
+/// Files providing the blessed seed-order reduction helpers.
+const BLESSED: &[&str] = &["crates/simnet/src/stats.rs"];
+
+const SCOPE_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "bench"];
+
+const REDUCTIONS: &[&str] = &["sum::<f64>", ".fold("];
+
+/// Runs R5 over one file.
+pub fn check(file: &SourceFile) -> Vec<RawFinding> {
+    if !SCOPE_CRATES.contains(&file.crate_dir.as_str()) || file.role != FileRole::Lib {
+        return Vec::new();
+    }
+    let path = file.path.to_string_lossy().replace('\\', "/");
+    if BLESSED.iter().any(|b| path.ends_with(b) || path == *b) {
+        return Vec::new();
+    }
+    // Only files that touch the parallel executor are in scope.
+    let uses_par = file
+        .code
+        .iter()
+        .any(|l| l.contains("run_indexed") || l.contains("par::"));
+    if !uses_par {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.is_test(line) {
+            continue;
+        }
+        for pat in REDUCTIONS {
+            if code.contains(pat) {
+                out.push(RawFinding {
+                    rule: RULE_FLOAT_REDUCTION,
+                    line,
+                    message: format!(
+                        "`{pat}` in a par-consuming file; reduce via the seed-order helpers in \
+                         simnet::stats (SimReport::average) or justify"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,48 @@
+//! The rule catalog. Each rule is a pure function from a
+//! [`SourceFile`] to raw findings; the driver in `lib.rs` applies the
+//! allow-annotations afterwards so every rule stays oblivious to the
+//! escape hatch (and the escape hatch works uniformly).
+
+use crate::source::SourceFile;
+
+pub mod float_reduction;
+pub mod nondeterminism;
+pub mod panic_free;
+pub mod rng_budget;
+pub mod unsafe_safety;
+
+/// A raw rule hit, before allow-annotations are applied.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Rule id (`nondeterminism`, `rng-draw-budget`, ...).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation of the hazard.
+    pub message: String,
+}
+
+/// Stable rule ids, used in reports and in `analyze::allow(<rule>,..)`.
+pub const RULE_NONDETERMINISM: &str = "nondeterminism";
+/// See [`RULE_NONDETERMINISM`].
+pub const RULE_RNG_BUDGET: &str = "rng-draw-budget";
+/// See [`RULE_NONDETERMINISM`].
+pub const RULE_UNSAFE_SAFETY: &str = "unsafe-safety";
+/// See [`RULE_NONDETERMINISM`].
+pub const RULE_PANIC_FREE: &str = "panic-free-library";
+/// See [`RULE_NONDETERMINISM`].
+pub const RULE_FLOAT_REDUCTION: &str = "float-reduction";
+/// Malformed `analyze::allow` annotations (not suppressible).
+pub const RULE_ALLOW_GRAMMAR: &str = "allow-grammar";
+
+/// Runs every rule over `file`.
+pub fn run_all(file: &SourceFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    out.extend(nondeterminism::check(file));
+    out.extend(rng_budget::check(file));
+    out.extend(unsafe_safety::check(file));
+    out.extend(panic_free::check(file));
+    out.extend(float_reduction::check(file));
+    out.sort_by_key(|f| f.line);
+    out
+}

@@ -1,0 +1,73 @@
+//! R1 `nondeterminism` — the simulation crates must not touch the wall
+//! clock, the OS entropy pool, or hash-order-dependent containers.
+//!
+//! Scope: non-test library code of the five simulation crates
+//! (`simnet`, `core`, `cachesim`, `netstack`, `signaling`). Bench
+//! binaries keep their wall-clock timing, and test code may use
+//! reference `HashSet`s: neither feeds the simulated outputs the
+//! determinism goldens pin.
+//!
+//! Flagged hazards:
+//! * `std::time::Instant` / `std::time::SystemTime` (and `::now()`
+//!   calls) — wall-clock reads. `netstack`'s own `type Instant = u64`
+//!   simulated clock is *not* flagged: only `std::time` paths and
+//!   `::now()` calls match.
+//! * `thread_rng` — OS-seeded randomness; sims must thread a seeded
+//!   `StdRng`.
+//! * `HashMap` / `HashSet` — iteration order varies per process
+//!   (`RandomState`); use `BTreeMap`/`BTreeSet`, or justify a
+//!   lookup-only map with `analyze::allow(nondeterminism, reason=..)`.
+
+use super::{RawFinding, RULE_NONDETERMINISM};
+use crate::source::{contains_word, FileRole, SourceFile};
+
+/// The crates whose outputs must replay byte-identically.
+pub const SIM_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling"];
+
+/// Substring hazards (qualified paths and calls).
+const PATH_PATTERNS: &[(&str, &str)] = &[
+    ("std::time::Instant", "wall-clock type in simulation code"),
+    ("std::time::SystemTime", "wall-clock type in simulation code"),
+    ("Instant::now", "wall-clock read in simulation code"),
+    ("SystemTime::now", "wall-clock read in simulation code"),
+];
+
+/// Whole-word hazards.
+const WORD_PATTERNS: &[(&str, &str)] = &[
+    ("thread_rng", "OS-seeded RNG; thread a seeded StdRng instead"),
+    ("HashMap", "iteration order is per-process random; use BTreeMap"),
+    ("HashSet", "iteration order is per-process random; use BTreeSet"),
+];
+
+/// Runs R1 over one file.
+pub fn check(file: &SourceFile) -> Vec<RawFinding> {
+    if !SIM_CRATES.contains(&file.crate_dir.as_str()) || file.role != FileRole::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.is_test(line) {
+            continue;
+        }
+        for (pat, why) in PATH_PATTERNS {
+            if code.contains(pat) {
+                out.push(RawFinding {
+                    rule: RULE_NONDETERMINISM,
+                    line,
+                    message: format!("`{pat}`: {why}"),
+                });
+            }
+        }
+        for (pat, why) in WORD_PATTERNS {
+            if contains_word(code, pat) {
+                out.push(RawFinding {
+                    rule: RULE_NONDETERMINISM,
+                    line,
+                    message: format!("`{pat}`: {why}"),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,98 @@
+//! R4 `panic-free-library` — non-test library code of `core`,
+//! `simnet`, and `cachesim` must not contain casual panic paths:
+//! `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, `unimplemented!`,
+//! or indexing a collection by an integer literal.
+//!
+//! These are the crates on the simulated hot path; a panic there kills
+//! a whole sweep mid-run. Invariant-backed `expect`s are fine *when
+//! reviewed*: annotate them with
+//! `analyze::allow(panic-free-library, reason = "<the invariant>")`
+//! and the reason lands in `results/analyze_report.json` where the
+//! next reviewer sees it. Tests and binaries are exempt (a test
+//! failing loudly is the point).
+//!
+//! `unwrap_or`/`unwrap_or_else`/`unwrap_or_default` and `expect_err`
+//! do not panic and are not matched. `assert!`/`debug_assert!` are
+//! deliberate contract checks and stay allowed.
+
+use super::{RawFinding, RULE_PANIC_FREE};
+use crate::source::{FileRole, SourceFile};
+
+/// Crates held to the panic-free standard.
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "simnet", "cachesim"];
+
+const CALLS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
+
+/// Runs R4 over one file.
+pub fn check(file: &SourceFile) -> Vec<RawFinding> {
+    if !PANIC_FREE_CRATES.contains(&file.crate_dir.as_str()) || file.role != FileRole::Lib {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.is_test(line) {
+            continue;
+        }
+        for pat in CALLS {
+            if code.contains(pat) {
+                out.push(RawFinding {
+                    rule: RULE_PANIC_FREE,
+                    line,
+                    message: format!("`{pat}` in library code can panic on the hot path"),
+                });
+            }
+        }
+        if let Some(ix) = literal_index(code) {
+            out.push(RawFinding {
+                rule: RULE_PANIC_FREE,
+                line,
+                message: format!("indexing by literal `{ix}` can panic; use .get() or justify"),
+            });
+        }
+    }
+    out
+}
+
+/// Finds `expr[<integer literal>]` — an index whose base ends in an
+/// identifier/`)`/`]` character and whose bracket content is only
+/// digits (and `_`). Array type/literal syntax (`[u8; 4]`, `[0, 1]`)
+/// never matches because nothing indexable precedes the bracket.
+fn literal_index(code: &str) -> Option<String> {
+    let b = code.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'[' {
+            let prev = b[..i].iter().rev().find(|c| !c.is_ascii_whitespace());
+            let indexable = matches!(prev, Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b')' | b']'));
+            if indexable {
+                let close = b[i + 1..].iter().position(|&c| c == b']').map(|p| i + 1 + p);
+                if let Some(j) = close {
+                    let inner = code[i + 1..j].trim();
+                    if !inner.is_empty()
+                        && inner.bytes().all(|c| c.is_ascii_digit() || c == b'_')
+                    {
+                        return Some(inner.to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::literal_index;
+
+    #[test]
+    fn literal_index_shapes() {
+        assert_eq!(literal_index("let x = w[0];"), Some("0".into()));
+        assert_eq!(literal_index("foo.bar()[12]"), Some("12".into()));
+        assert_eq!(literal_index("let a: [u8; 4] = [0, 1, 2, 3];"), None);
+        assert_eq!(literal_index("&buf[..4]"), None);
+        assert_eq!(literal_index("v[i]"), None);
+        assert_eq!(literal_index("#[cfg(test)]"), None);
+    }
+}

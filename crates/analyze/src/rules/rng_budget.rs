@@ -1,0 +1,158 @@
+//! R2 `rng-draw-budget` — every function in `simnet::impair` that
+//! consumes randomness must declare its per-call draw count with a
+//! `// draws: N` header comment, and N must equal the number of RNG
+//! call sites in the body.
+//!
+//! The impairment channel's replayability contract is "a fixed number
+//! of RNG draws per packet, regardless of outcome" (PR 2): if a
+//! refactor adds a conditional draw, fates of later packets start to
+//! depend on earlier outcomes and every golden breaks. The annotation
+//! makes the budget part of the reviewed source, and this rule keeps
+//! the annotation honest by counting the draw call sites statically.
+//!
+//! The count is of *call sites*, the shape the fixed-draw discipline
+//! enforces: draws inside loops would defeat the contract and also get
+//! flagged in review, since the annotation is right next to the code.
+
+use super::{RawFinding, RULE_RNG_BUDGET};
+use crate::source::{FileRole, SourceFile};
+
+/// RNG-consuming method call patterns of the vendored `rand` API.
+const DRAW_CALLS: &[&str] = &[
+    ".random()",
+    ".random::<",
+    ".random_range(",
+    ".random_bool(",
+    ".next_u32(",
+    ".next_u64(",
+    ".fill_bytes(",
+    ".sample_from(",
+];
+
+/// Runs R2 over one file (only `simnet`'s `impair` module is in scope).
+pub fn check(file: &SourceFile) -> Vec<RawFinding> {
+    if file.crate_dir != "simnet"
+        || file.role != FileRole::Lib
+        || !file.path.to_string_lossy().contains("impair")
+    {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for func in functions(file) {
+        if file.is_test(func.sig_line) {
+            continue;
+        }
+        let draws: usize = (func.body_start..=func.body_end)
+            .map(|l| count_draws(&file.code[l - 1]))
+            .sum();
+        if draws == 0 {
+            continue;
+        }
+        let declared = declared_draws(file, func.sig_line);
+        match declared {
+            None => out.push(RawFinding {
+                rule: RULE_RNG_BUDGET,
+                line: func.sig_line,
+                message: format!(
+                    "fn `{}` makes {draws} RNG draw(s) but has no `// draws: N` annotation",
+                    func.name
+                ),
+            }),
+            Some(n) if n != draws => out.push(RawFinding {
+                rule: RULE_RNG_BUDGET,
+                line: func.sig_line,
+                message: format!(
+                    "fn `{}` declares `draws: {n}` but the body has {draws} RNG call site(s)",
+                    func.name
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+fn count_draws(code: &str) -> usize {
+    DRAW_CALLS.iter().map(|p| code.matches(p).count()).sum()
+}
+
+/// Looks for `draws: N` in the function's header comment block.
+fn declared_draws(file: &SourceFile, sig_line: usize) -> Option<usize> {
+    let mut found = None;
+    file.header_comment_matches(sig_line, |c| {
+        if let Some(pos) = c.find("draws:") {
+            let tail = c[pos + "draws:".len()..].trim();
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            if let Ok(n) = digits.parse::<usize>() {
+                found = Some(n);
+                return true;
+            }
+        }
+        false
+    });
+    found
+}
+
+struct Func {
+    name: String,
+    sig_line: usize,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Finds every `fn` item with a body, via brace matching on the
+/// scrubbed code.
+fn functions(file: &SourceFile) -> Vec<Func> {
+    let mut out = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let Some(pos) = crate::source::find_word(code, "fn") else {
+            continue;
+        };
+        let name: String = code[pos + 2..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // Walk forward to the opening brace of the body (a `;` first
+        // means a bodyless declaration, e.g. in a trait).
+        let mut depth = 0i32;
+        let mut started = false;
+        let mut body_start = 0usize;
+        'scan: for (j, l) in file.code.iter().enumerate().skip(idx) {
+            let chars: Vec<char> = l.chars().collect();
+            let from = if j == idx { pos } else { 0 };
+            for &c in &chars[from.min(chars.len())..] {
+                match c {
+                    ';' if !started && depth == 0 => break 'scan,
+                    '{' => {
+                        if !started {
+                            started = true;
+                            body_start = j + 1;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            out.push(Func {
+                                name: name.clone(),
+                                sig_line: idx + 1,
+                                body_start,
+                                body_end: j + 1,
+                            });
+                            break 'scan;
+                        }
+                    }
+                    // Parenthesised/general nesting is irrelevant: we
+                    // only track braces, and generic `{}` inside the
+                    // signature (impl Trait blocks) is not a thing.
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,33 @@
+//! R3 `unsafe-safety` — every `unsafe` block, fn, impl, or trait must
+//! carry a `// SAFETY:` comment: trailing on the same line, or in the
+//! contiguous comment/attribute header directly above.
+//!
+//! Applies to every file in every crate, tests included: a safety
+//! argument is documentation of an obligation the compiler stopped
+//! checking, and that obligation exists in test code too (the
+//! counting-allocator test implements `GlobalAlloc`, for instance).
+
+use super::{RawFinding, RULE_UNSAFE_SAFETY};
+use crate::source::{find_word, SourceFile};
+
+/// Runs R3 over one file.
+pub fn check(file: &SourceFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let line = idx + 1;
+        // `unsafe` in a signature (`unsafe fn`, `unsafe impl`, `unsafe
+        // trait`) and `unsafe {` blocks all need the comment; there is
+        // no other legal position for the keyword, so every occurrence
+        // counts. One finding per line is enough.
+        if find_word(code, "unsafe").is_some()
+            && !file.header_comment_matches(line, |c| c.contains("SAFETY:"))
+        {
+            out.push(RawFinding {
+                rule: RULE_UNSAFE_SAFETY,
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment explaining the obligation".into(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for R5 `float-reduction` (scanned as crate
+// `bench`, role lib). Never compiled.
+
+use simnet::par::run_indexed;
+
+pub fn mean_latency(n: usize, threads: usize) -> f64 {
+    let xs: Vec<f64> = run_indexed(n, threads, |i| i as f64);
+    let total = xs.iter().sum::<f64>();
+    let folded = xs.iter().fold(0.0, |a, b| a + b);
+    (total + folded) / n as f64
+}

@@ -1,0 +1,19 @@
+// Known-good fixture for R5 `float-reduction`: par results reduced via
+// the blessed seed-order helper, plus one justified integer-exact sum.
+// Never compiled.
+
+use simnet::par::run_indexed;
+use simnet::stats::SimReport;
+
+pub fn mean_report(n: usize, threads: usize) -> SimReport {
+    let reports: Vec<SimReport> = run_indexed(n, threads, |_| SimReport::default());
+    SimReport::average(&reports)
+}
+
+pub fn total_misses(n: usize, threads: usize) -> u64 {
+    let xs: Vec<u64> = run_indexed(n, threads, |i| i as u64);
+    // Integer sums are exact and order-insensitive; only f64 folds are
+    // hazards, but the justified form is shown here for the fixture.
+    // analyze::allow(float-reduction, reason = "u64 sum is exact; associative regardless of order")
+    xs.iter().fold(0, |a, b| a + b)
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for R1 `nondeterminism` (scanned as crate `simnet`,
+// role lib). Never compiled.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct State {
+    seen: HashSet<u64>,
+    by_id: HashMap<u32, u64>,
+}
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    let mut rng = thread_rng();
+    rng.random::<u64>() ^ (t.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,29 @@
+// Known-good fixture for R1 `nondeterminism`: ordered containers, a
+// seeded RNG, and one justified hash map. Never compiled.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+// analyze::allow(nondeterminism, reason = "lookup-only memo; iteration order never observed")
+use std::collections::HashMap;
+
+pub struct State {
+    seen: BTreeSet<u64>,
+    by_id: BTreeMap<u32, u64>,
+    memo: HashMap<u64, u64>, // analyze::allow(nondeterminism, reason = "get/insert only")
+}
+
+pub fn stamp(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may keep reference hash sets: exempt from R1.
+    use std::collections::HashSet;
+
+    #[test]
+    fn reference_model() {
+        let _ = HashSet::<u64>::new();
+    }
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture for R4 `panic-free-library` (scanned as crate
+// `core`, role lib). Never compiled.
+
+pub fn casual(v: &[u64], m: Option<u64>) -> u64 {
+    let first = v[0];
+    let x = m.unwrap();
+    let y = m.expect("present");
+    if x == 0 {
+        panic!("zero");
+    }
+    first + x + y
+}
+
+pub fn unfinished() {
+    todo!("later")
+}

@@ -1,0 +1,24 @@
+// Known-good fixture for R4 `panic-free-library`: graceful handling,
+// non-panicking unwrap_or family, and one justified expect. Never
+// compiled.
+
+pub fn graceful(v: &[u64], m: Option<u64>) -> u64 {
+    let first = v.first().copied().unwrap_or(0);
+    let x = m.unwrap_or_default();
+    first + x
+}
+
+pub fn justified(v: &[u64]) -> u64 {
+    assert!(!v.is_empty());
+    // analyze::allow(panic-free-library, reason = "guarded by the assert on the previous line")
+    *v.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u64];
+        assert_eq!(v[0], *v.first().unwrap());
+    }
+}

@@ -1,0 +1,23 @@
+// Known-bad fixture for R2 `rng-draw-budget` (scanned as crate
+// `simnet`, path containing `impair`, role lib). Never compiled.
+
+pub struct Chan {
+    rng: StdRng,
+}
+
+impl Chan {
+    /// No annotation at all: flagged.
+    pub fn fate_unannotated(&mut self) -> bool {
+        let u: f64 = self.rng.random();
+        u < 0.5
+    }
+
+    /// Stale annotation: declares two draws, body makes three.
+    // draws: 2
+    pub fn fate_stale(&mut self) -> (f64, f64, bool) {
+        let a: f64 = self.rng.random();
+        let b: f64 = self.rng.random();
+        let c = self.rng.random_bool(0.5);
+        (a, b, c)
+    }
+}

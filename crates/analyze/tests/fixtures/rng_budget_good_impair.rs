@@ -1,0 +1,30 @@
+// Known-good fixture for R2 `rng-draw-budget`. Never compiled.
+
+pub struct Chan {
+    rng: StdRng,
+}
+
+impl Chan {
+    /// Budget matches the call sites.
+    // draws: 3
+    pub fn fate(&mut self) -> (f64, f64, bool) {
+        let a: f64 = self.rng.random();
+        let b: f64 = self.rng.random();
+        let c = self.rng.random_bool(0.5);
+        (a, b, c)
+    }
+
+    /// Draw-free helpers need no annotation.
+    pub fn transparent(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_fns_are_exempt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: f64 = rng.random();
+    }
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture for R3 `unsafe-safety`. Never compiled.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub unsafe fn undocumented(ptr: *const u8) -> u8 {
+    *ptr
+}

@@ -1,0 +1,20 @@
+// Known-good fixture for R3 `unsafe-safety`. Never compiled.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// `ptr` must be valid for reads.
+// SAFETY: contract documented above; callers uphold pointer validity.
+pub unsafe fn documented(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+pub fn trailing(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // SAFETY: caller-checked length, see read_first
+}

@@ -26,7 +26,7 @@ fn inventory() -> Vec<(u64, u32)> {
 
 /// Within-layer excess conflict lines summed over layers.
 fn layer_conflicts(placed: &[PlacedFunction], cfg: &CacheConfig) -> u64 {
-    let mut groups: std::collections::HashMap<u32, Vec<Region>> = Default::default();
+    let mut groups: std::collections::BTreeMap<u32, Vec<Region>> = Default::default();
     for p in placed {
         groups.entry(p.group).or_default().push(p.region);
     }
@@ -51,7 +51,7 @@ fn path_misses(placed: &[PlacedFunction], machine_cfg: MachineConfig) -> (u64, u
 
     // LDLP pass: per layer, fetch its functions for a 14-message batch;
     // count only the re-fetches after the first message.
-    let mut groups: std::collections::HashMap<u32, Vec<Region>> = Default::default();
+    let mut groups: std::collections::BTreeMap<u32, Vec<Region>> = Default::default();
     for p in placed {
         groups.entry(p.group).or_default().push(p.region);
     }

@@ -299,6 +299,7 @@ impl Machine {
                 self.stall_cycles += self.cfg.read_miss_penalty;
             }
         }
+        // analyze::allow(panic-free-library, reason = "replay was created (or confirmed Some) at the top of this function; re-borrowed here to satisfy the borrow checker")
         let replay = self.replay.as_mut().expect("created above");
         let next = replay.intern(self.icache.export_tags());
         replay.insert(cur, fid, Transition { misses, next });

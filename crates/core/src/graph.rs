@@ -178,6 +178,7 @@ impl<M> LayerGraph<M> {
     /// schedule it is processed to completion immediately; under LDLP it
     /// waits in the entry queue until [`LayerGraph::run`].
     pub fn inject(&mut self, msg: M) {
+        // analyze::allow(panic-free-library, reason = "documented precondition: set_entry must be called before inject; misuse is a caller bug, not a data-dependent path")
         let entry = self.entry.expect("entry layer set");
         match self.schedule {
             Schedule::Conventional => {
@@ -198,6 +199,7 @@ impl<M> LayerGraph<M> {
     /// this run.
     pub fn run(&mut self) -> Vec<(NodeId, M)> {
         if let Schedule::Ldlp { entry_batch } = self.schedule {
+            // analyze::allow(panic-free-library, reason = "documented precondition: set_entry must be called before run; misuse is a caller bug, not a data-dependent path")
             let entry = self.entry.expect("entry layer set");
             while !self.nodes[entry].queue.is_empty() {
                 // The entry layer yields after a batch; everything above
@@ -206,6 +208,7 @@ impl<M> LayerGraph<M> {
                 self.stats.batches += 1;
                 self.stats.max_batch = self.stats.max_batch.max(batch);
                 for _ in 0..batch {
+                    // analyze::allow(panic-free-library, reason = "batch = min(queue.len(), cap), so the queue holds at least `batch` messages here")
                     let msg = self.nodes[entry].queue.pop_front().expect("len checked");
                     self.process_one_queued(entry, msg);
                 }

@@ -26,16 +26,26 @@ fn count_one() {
     let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: pure pass-through to the System allocator; the only extra
+// work is bumping a no-destructor, const-initialised thread-local
+// counter, which never allocates, never unwinds, and never re-enters
+// the allocator — so System's layout/aliasing contracts are preserved
+// verbatim.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to System.alloc with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_one();
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to System.dealloc; `ptr`/`layout` obligations
+    // pass straight through from the caller.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: delegates to System.realloc; `ptr`/`layout`/`new_size`
+    // obligations pass straight through from the caller.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_one();
         System.realloc(ptr, layout, new_size)

@@ -90,7 +90,7 @@ pub fn anneal_place(
 /// lines (the annealer's objective).
 fn cost(order: &[usize], sizes: &[(u64, u32)], base: u64, cfg: &CacheConfig) -> u64 {
     let placed = layout(order, sizes, base, cfg);
-    let mut groups: std::collections::HashMap<u32, Vec<Region>> = Default::default();
+    let mut groups: std::collections::BTreeMap<u32, Vec<Region>> = Default::default();
     for p in &placed {
         groups.entry(p.group).or_default().push(p.region);
     }
@@ -124,7 +124,7 @@ mod tests {
     }
 
     fn group_excess(placed: &[PlacedFunction], cfg: &CacheConfig) -> u64 {
-        let mut groups: std::collections::HashMap<u32, Vec<Region>> = Default::default();
+        let mut groups: std::collections::BTreeMap<u32, Vec<Region>> = Default::default();
         for p in placed {
             groups.entry(p.group).or_default().push(p.region);
         }

@@ -81,7 +81,7 @@ pub fn greedy_place(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Per-group set occupancy accumulated as we place.
-    let mut group_regions: std::collections::HashMap<u32, Vec<Region>> = Default::default();
+    let mut group_regions: std::collections::BTreeMap<u32, Vec<Region>> = Default::default();
     let mut placed: Vec<Option<PlacedFunction>> = vec![None; sizes.len()];
     let mut cursor = cachesim::addr::align_up(base, cfg.line_size);
 

@@ -12,7 +12,7 @@
 //! * Accesses to excluded regions (packet contents, hardware registers,
 //!   the stack) are not counted.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::trace::{RefKind, Trace};
 
@@ -82,7 +82,7 @@ pub fn working_set(trace: &Trace, line_size: u64) -> WorkingSetReport {
     assert!(line_size.is_power_of_two() && line_size >= 1);
 
     // Pass 1: which data lines were ever written (=> mutable)?
-    let mut written: HashSet<u64> = HashSet::new();
+    let mut written: BTreeSet<u64> = BTreeSet::new();
     for r in &trace.refs {
         if r.kind == RefKind::Write && r.size > 0 && !is_excluded(trace, r.addr) {
             for line in lines_of(r.addr, r.size, line_size) {
@@ -92,7 +92,7 @@ pub fn working_set(trace: &Trace, line_size: u64) -> WorkingSetReport {
     }
 
     // Pass 2: first-touch classification of every countable line.
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
     let nlayers = trace.layers.len();
     let mut cells = vec![[0u64; 3]; nlayers]; // [layer][class] -> lines
 

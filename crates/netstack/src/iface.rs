@@ -16,7 +16,7 @@ use crate::wire::icmp::{IcmpRepr, IcmpType};
 use crate::wire::ipv4::{Ipv4Addr, Ipv4Repr, Protocol, IPV4_HEADER_LEN};
 use crate::wire::udp::UdpRepr;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// A link-layer device: somewhere to send frames and receive them from.
@@ -174,11 +174,11 @@ pub struct Interface {
     mac: EthernetAddr,
     ip: Ipv4Addr,
     /// ARP cache: IP -> MAC.
-    arp_cache: HashMap<Ipv4Addr, EthernetAddr>,
+    arp_cache: BTreeMap<Ipv4Addr, EthernetAddr>,
     /// Packets awaiting ARP resolution, keyed by next hop.
-    arp_pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
+    arp_pending: BTreeMap<Ipv4Addr, Vec<Vec<u8>>>,
     /// Bound UDP ports and their receive queues.
-    udp_ports: HashMap<u16, VecDeque<UdpDatagram>>,
+    udp_ports: BTreeMap<u16, VecDeque<UdpDatagram>>,
     /// Received echo replies.
     echo_replies: VecDeque<EchoReply>,
     /// The TCP endpoint.
@@ -195,9 +195,9 @@ impl Interface {
         Interface {
             mac,
             ip,
-            arp_cache: HashMap::new(),
-            arp_pending: HashMap::new(),
-            udp_ports: HashMap::new(),
+            arp_cache: BTreeMap::new(),
+            arp_pending: BTreeMap::new(),
+            udp_ports: BTreeMap::new(),
             echo_replies: VecDeque::new(),
             tcp,
             reassembler: Reassembler::new(),

@@ -7,7 +7,7 @@
 //! generation.
 
 use crate::wire::{Cause, InfoElement, Message, MessageType};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Call states (a condensed Q.2931 state set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub struct SwitchStats {
 /// The network-side call controller of one switch port.
 #[derive(Debug)]
 pub struct SignalingSwitch {
-    calls: HashMap<u32, Call>,
+    calls: BTreeMap<u32, Call>,
     stats: SwitchStats,
     next_vci: u16,
     /// Maximum simultaneous calls (VC table capacity).
@@ -55,7 +55,7 @@ impl SignalingSwitch {
     /// A switch port able to hold `capacity` simultaneous calls.
     pub fn new(capacity: usize) -> Self {
         SignalingSwitch {
-            calls: HashMap::new(),
+            calls: BTreeMap::new(),
             stats: SwitchStats::default(),
             next_vci: 32, // VCIs below 32 are reserved
             capacity,
@@ -177,7 +177,7 @@ impl SignalingSwitch {
 pub struct Caller {
     next_ref: u32,
     /// Calls we believe are up, with their assigned VPI/VCI.
-    active: HashMap<u32, (u16, u16)>,
+    active: BTreeMap<u32, (u16, u16)>,
 }
 
 impl Caller {
@@ -185,7 +185,7 @@ impl Caller {
     pub fn new() -> Self {
         Caller {
             next_ref: 1,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         }
     }
 
@@ -299,7 +299,7 @@ mod tests {
     fn vcis_are_distinct_across_calls() {
         let mut switch = SignalingSwitch::new(64);
         let mut caller = Caller::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..50 {
             let replies = switch.handle(&caller.setup());
             let (_, vci) = replies[1].connection_id().unwrap();

@@ -12,7 +12,7 @@
 //! uncompressed), no EDNS.
 
 use netstack::wire::ipv4::Ipv4Addr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// DNS response codes we produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,7 +207,7 @@ pub struct DnsStats {
 /// A tiny authoritative server over an in-memory zone.
 #[derive(Debug, Default)]
 pub struct DnsServer {
-    zone: HashMap<String, Vec<Ipv4Addr>>,
+    zone: BTreeMap<String, Vec<Ipv4Addr>>,
     stats: DnsStats,
 }
 

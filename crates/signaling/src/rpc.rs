@@ -9,7 +9,7 @@
 //! ACCESS over an in-memory namespace), giving the workload suite a third
 //! functional small-message protocol.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// RPC message direction.
 const CALL: u32 = 0;
@@ -270,9 +270,9 @@ pub struct RpcStats {
 #[derive(Debug)]
 pub struct AttrServer {
     /// handle -> attributes.
-    attrs: HashMap<u64, Attrs>,
+    attrs: BTreeMap<u64, Attrs>,
     /// (parent handle, name) -> child handle.
-    names: HashMap<(u64, Vec<u8>), u64>,
+    names: BTreeMap<(u64, Vec<u8>), u64>,
     next_handle: u64,
     stats: RpcStats,
 }
@@ -289,7 +289,7 @@ impl Default for AttrServer {
 impl AttrServer {
     /// A server with an empty root directory.
     pub fn new() -> Self {
-        let mut attrs = HashMap::new();
+        let mut attrs = BTreeMap::new();
         attrs.insert(
             ROOT_HANDLE,
             Attrs {
@@ -301,7 +301,7 @@ impl AttrServer {
         );
         AttrServer {
             attrs,
-            names: HashMap::new(),
+            names: BTreeMap::new(),
             next_handle: 2,
             stats: RpcStats::default(),
         }

@@ -190,6 +190,8 @@ impl ImpairState {
     /// Decides the fate of the next packet. Exactly six RNG draws per
     /// call, regardless of outcome, so fates of later packets do not
     /// depend on which earlier ones were dropped.
+    // draws: 6 — the fixed per-packet budget; R2 (rng-draw-budget)
+    // cross-checks this count against the call sites below.
     pub fn next_fate(&mut self) -> Fate {
         let u_trans: f64 = self.rng.random();
         let u_loss: f64 = self.rng.random();

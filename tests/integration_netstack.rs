@@ -211,7 +211,7 @@ fn ping_storm_all_answered() {
         a.ping(&mut ad, b_ip, 0x77, seq, &seq.to_be_bytes());
     }
     settle(&mut a, &mut ad, &mut b, &mut bd, 0);
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     while let Some(reply) = a.take_echo_reply() {
         assert_eq!(reply.ident, 0x77);
         assert_eq!(reply.payload, reply.seq.to_be_bytes());

@@ -238,26 +238,26 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// ByteRefSet vs. a HashSet reference model
+// ByteRefSet vs. a BTreeSet reference model
 // ---------------------------------------------------------------------
 
 proptest! {
     #[test]
-    fn byterefset_matches_hashset(
+    fn byterefset_matches_set_model(
         inserts in proptest::collection::vec((0u64..512, 0u64..48), 0..40),
         line_size_pow in 2u32..7,
     ) {
         use memtrace::ByteRefSet;
-        use std::collections::HashSet;
+        use std::collections::BTreeSet;
         let line_size = 1u64 << line_size_pow;
         let mut set = ByteRefSet::new();
-        let mut model: HashSet<u64> = HashSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
         for (addr, len) in inserts {
             set.insert(addr, len);
             model.extend(addr..addr + len);
         }
         prop_assert_eq!(set.bytes(), model.len() as u64);
-        let model_lines: HashSet<u64> = model.iter().map(|b| b / line_size).collect();
+        let model_lines: BTreeSet<u64> = model.iter().map(|b| b / line_size).collect();
         prop_assert_eq!(set.lines(line_size), model_lines.len() as u64);
         for probe in [0u64, 7, 100, 300, 511, 600] {
             prop_assert_eq!(set.contains(probe), model.contains(&probe));
@@ -290,7 +290,7 @@ proptest! {
         prop_assert_eq!(s.accesses(), addrs.len() as u64);
         prop_assert_eq!(s.misses, s.read_misses);
         // Distinct lines bound the compulsory misses from below.
-        let distinct: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 32).collect();
+        let distinct: std::collections::BTreeSet<u64> = addrs.iter().map(|a| a / 32).collect();
         prop_assert!(s.misses >= distinct.len() as u64 || distinct.len() > 256);
         prop_assert!(s.misses <= s.accesses());
     }
@@ -334,7 +334,7 @@ proptest! {
         use cachesim::Region;
         let line = 1u64 << pow;
         let r = Region::new(base, len);
-        let brute: std::collections::HashSet<u64> = (base..base + len).map(|b| b / line).collect();
+        let brute: std::collections::BTreeSet<u64> = (base..base + len).map(|b| b / line).collect();
         prop_assert_eq!(r.lines(line), brute.len() as u64);
     }
 
@@ -383,10 +383,10 @@ proptest! {
         segments in proptest::collection::vec((0usize..600, 1usize..80), 1..20),
     ) {
         use netstack::tcp::assembler::Assembler;
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
 
         let mut asm = Assembler::new(1 << 16);
-        let mut model: HashMap<usize, u8> = HashMap::new();
+        let mut model: BTreeMap<usize, u8> = BTreeMap::new();
         for (i, &(offset, len)) in segments.iter().enumerate() {
             let data: Vec<u8> = (0..len).map(|j| (i * 37 + j) as u8).collect();
             if asm.insert(offset, &data).is_ok() {
@@ -397,7 +397,7 @@ proptest! {
         }
         // Drain: advance through the stream one gap at a time.
         let max_off = segments.iter().map(|&(o, l)| o + l).max().unwrap_or(0);
-        let mut delivered: HashMap<usize, u8> = HashMap::new();
+        let mut delivered: BTreeMap<usize, u8> = BTreeMap::new();
         let mut pos = 0usize;
         while pos <= max_off {
             // Simulate 1 byte of in-order data filling position `pos`.

@@ -11,6 +11,10 @@
 //! There is no statistical machinery — this exists so `cargo bench`
 //! compiles and produces useful numbers without network access.
 
+// A benchmark harness exists to read the wall clock; the workspace-wide
+// `disallowed-methods` ban on `Instant::now` targets simulation code.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
