@@ -7,8 +7,8 @@
 //! the D-cache-fit batch cap (14 messages) binds.
 
 use bench::figures::{figure5_rows, FIGURE5_HEADER};
-use bench::sweep::poisson_sweep;
-use bench::{f, figure5_rates, perf, print_table, write_csv, RunOpts};
+use bench::sweep::{poisson_sweep_observed, traced_poisson_runs};
+use bench::{f, figure5_rates, obs_io, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 
 fn main() {
@@ -21,7 +21,9 @@ fn main() {
         opts.duration_s,
         opts.effective_threads()
     );
-    let points = poisson_sweep(&opts, MachineConfig::synthetic_benchmark(), &figure5_rates());
+    let cfg = MachineConfig::synthetic_benchmark();
+    let rates = figure5_rates();
+    let (points, recorder) = poisson_sweep_observed(&opts, cfg, &rates, opts.metrics);
 
     let mut rows = Vec::new();
     for p in &points {
@@ -58,4 +60,20 @@ fn main() {
     );
     write_csv(&opts.out_dir.join("figure5.csv"), &FIGURE5_HEADER, &csv);
     perf::write_fragment(&opts.out_dir, "figure5", opts.effective_threads());
+    if let Some(rec) = recorder {
+        obs_io::write_metrics(&opts.out_dir, &obs_io::run_meta("figure5", &opts), &rec);
+    }
+    if opts.trace {
+        let mid = rates[rates.len() / 2];
+        let traced = traced_poisson_runs(&opts, cfg, mid);
+        let parts: Vec<obs::TracePart> = traced
+            .iter()
+            .map(|(name, rec)| obs::TracePart {
+                process: name,
+                recorder: rec,
+                units_per_us: cfg.clock_mhz, // timestamps are CPU cycles
+            })
+            .collect();
+        obs_io::write_trace(&opts.out_dir, &parts);
+    }
 }

@@ -8,8 +8,8 @@
 //! throughput and degrades gracefully.
 
 use bench::figures::{figure7_rows, FIGURE7_HEADER};
-use bench::sweep::clock_sweep;
-use bench::{f, figure7_clocks, perf, print_table, write_csv, RunOpts};
+use bench::sweep::{clock_sweep_observed, traced_clock_runs};
+use bench::{f, figure7_clocks, obs_io, perf, print_table, write_csv, RunOpts};
 use cachesim::MachineConfig;
 
 fn main() {
@@ -26,11 +26,9 @@ fn main() {
         opts.duration_s,
         opts.effective_threads()
     );
-    let points = clock_sweep(
-        &opts,
-        MachineConfig::synthetic_benchmark(),
-        &figure7_clocks(),
-    );
+    let base = MachineConfig::synthetic_benchmark();
+    let clocks = figure7_clocks();
+    let (points, recorder) = clock_sweep_observed(&opts, base, &clocks, opts.metrics);
 
     let mut rows = Vec::new();
     for p in &points {
@@ -57,4 +55,20 @@ fn main() {
     );
     write_csv(&opts.out_dir.join("figure7.csv"), &FIGURE7_HEADER, &csv);
     perf::write_fragment(&opts.out_dir, "figure7", opts.effective_threads());
+    if let Some(rec) = recorder {
+        obs_io::write_metrics(&opts.out_dir, &obs_io::run_meta("figure7", &opts), &rec);
+    }
+    if opts.trace {
+        let mid = clocks[clocks.len() / 2];
+        let traced = traced_clock_runs(&opts, base, mid);
+        let parts: Vec<obs::TracePart> = traced
+            .iter()
+            .map(|(name, rec)| obs::TracePart {
+                process: name,
+                recorder: rec,
+                units_per_us: mid, // timestamps are cycles of the traced clock
+            })
+            .collect();
+        obs_io::write_trace(&opts.out_dir, &parts);
+    }
 }

@@ -12,9 +12,10 @@
 //! asserted in every cell of the sweep.
 
 use bench::impairments::{
-    grid, impairment_sweep, impairments_rows, HOLD_S, IMPAIRMENTS_HEADER, PAIRS_PER_S,
+    grid, impairment_sweep, impairments_rows, observed_cell, HOLD_S, IMPAIRMENTS_HEADER,
+    OBSERVED_CELL, PAIRS_PER_S,
 };
-use bench::{f, perf, print_table, write_csv, RunOpts};
+use bench::{f, obs_io, perf, print_table, write_csv, RunOpts};
 
 fn main() {
     let mut opts = RunOpts::from_args();
@@ -79,4 +80,39 @@ fn main() {
     };
     write_csv(&opts.out_dir.join(name), &IMPAIRMENTS_HEADER, &rows);
     perf::write_fragment(&opts.out_dir, "impairments", opts.effective_threads());
+
+    if opts.trace || opts.metrics {
+        // One observed rerun of the representative cell: the signalling
+        // workload (cycle timestamps) and the wire exchange (millisecond
+        // timestamps) each get a recorder.
+        let (mut sim_rec, wire_rec) = observed_cell(opts.duration_s, opts.trace);
+        if opts.trace {
+            let clock_mhz = signaling::workload::goal_machine().clock_mhz;
+            let parts = [
+                obs::TracePart {
+                    process: "signaling",
+                    recorder: &sim_rec,
+                    units_per_us: clock_mhz,
+                },
+                obs::TracePart {
+                    process: "wire",
+                    recorder: &wire_rec,
+                    units_per_us: 0.001, // millisecond-stamped iface events
+                },
+            ];
+            obs_io::write_trace(&opts.out_dir, &parts);
+        }
+        if opts.metrics {
+            // The two recorders use disjoint name prefixes, so a merge
+            // yields one metrics document covering both levels.
+            sim_rec.merge(&wire_rec);
+            let mut meta = obs_io::run_meta("impairments", &opts);
+            meta.push(("observed_loss_pct", f(OBSERVED_CELL.loss_pct, 1)));
+            meta.push((
+                "observed_reorder_depth",
+                OBSERVED_CELL.reorder_depth.to_string(),
+            ));
+            obs_io::write_metrics(&opts.out_dir, &meta, &sim_rec);
+        }
+    }
 }

@@ -36,6 +36,13 @@ pub struct RunOpts {
     /// that honour it also write a `*_smoke.csv` so the golden file the
     /// CI compares against never collides with full results.
     pub smoke: bool,
+    /// Write a chrome://tracing event file (`OUT_DIR/trace.json`) from a
+    /// fully-traced representative run.
+    pub trace: bool,
+    /// Write deterministic per-layer metrics (`OUT_DIR/metrics.json`)
+    /// accumulated over the whole sweep, merged in seed order — the file
+    /// is byte-identical for every `--threads` count.
+    pub metrics: bool,
 }
 
 impl Default for RunOpts {
@@ -46,6 +53,8 @@ impl Default for RunOpts {
             out_dir: PathBuf::from("results"),
             threads: None,
             smoke: false,
+            trace: false,
+            metrics: false,
         }
     }
 }
@@ -92,8 +101,19 @@ impl RunOpts {
                     opts.smoke = true;
                     i += 1;
                 }
+                "--trace" => {
+                    opts.trace = true;
+                    i += 1;
+                }
+                "--metrics" => {
+                    opts.metrics = true;
+                    i += 1;
+                }
                 other => die(&format!("unknown flag {other}")),
             }
+        }
+        if opts.seeds == 0 {
+            die("--seeds must be at least 1");
         }
         opts
     }
@@ -106,7 +126,10 @@ impl RunOpts {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--seeds N] [--duration S] [--out DIR] [--threads N] [--smoke]");
+    eprintln!(
+        "usage: <bin> [--seeds N] [--duration S] [--out DIR] [--threads N] [--smoke] \
+         [--trace] [--metrics]"
+    );
     std::process::exit(2);
 }
 
@@ -391,8 +414,33 @@ pub mod sweep {
         arrivals: &[Arrival],
         duration_s: f64,
     ) -> SimReport {
+        run_once_with_sink(
+            cfg,
+            discipline,
+            placement_seed,
+            arrivals,
+            duration_s,
+            obs::Sink::Off,
+            "",
+        )
+        .0
+    }
+
+    /// [`run_once`] with an observability sink attached to the engine for
+    /// the duration of the run; events are interned as `<prefix><name>`.
+    /// Returns the sink so one recorder can thread through several runs.
+    pub fn run_once_with_sink(
+        cfg: MachineConfig,
+        discipline: Discipline,
+        placement_seed: u64,
+        arrivals: &[Arrival],
+        duration_s: f64,
+        sink: obs::Sink,
+        prefix: &str,
+    ) -> (SimReport, obs::Sink) {
         let (machine, layers) = paper_stack(cfg, placement_seed);
         let mut engine = StackEngine::new(machine, layers, discipline);
+        engine.set_sink(sink, prefix);
         let sim_cfg = SimConfig {
             duration_s,
             pool_seed: placement_seed,
@@ -400,7 +448,7 @@ pub mod sweep {
         };
         let report = run_sim(&mut engine, arrivals, &sim_cfg);
         crate::perf::note_replay(&engine.machine().replay_stats());
-        report
+        (report, engine.take_sink())
     }
 
     /// Runs `run(seed)` for seeds `1..=opts.seeds` across the worker
@@ -422,7 +470,7 @@ pub mod sweep {
     where
         R: Fn(u64) -> SimReport + Sync,
     {
-        SimReport::average(&per_seed(opts, run))
+        SimReport::average(&per_seed(opts, run)).expect("at least one seed")
     }
 
     /// Figures 5 and 6: Poisson arrivals of 552-byte messages across the
@@ -430,30 +478,54 @@ pub mod sweep {
     /// (rate, seed) pair is one parallel job covering all three
     /// disciplines on the same arrival stream.
     pub fn poisson_sweep(opts: &RunOpts, cfg: MachineConfig, rates: &[f64]) -> Vec<SweepPoint> {
+        poisson_sweep_observed(opts, cfg, rates, false).0
+    }
+
+    /// [`poisson_sweep`] with optional metrics recording: when `observe`
+    /// is set, every (rate, seed) job runs with a metrics-mode sink and
+    /// the per-job recorders are merged in job-index order — so the
+    /// merged histograms are identical for every worker-thread count.
+    pub fn poisson_sweep_observed(
+        opts: &RunOpts,
+        cfg: MachineConfig,
+        rates: &[f64],
+        observe: bool,
+    ) -> (Vec<SweepPoint>, Option<Box<obs::Recorder>>) {
+        type Job = (SimReport, SimReport, SimReport, Option<Box<obs::Recorder>>);
         let seeds = opts.seeds as usize;
-        let runs = run_indexed(rates.len() * seeds, opts.effective_threads(), |i| {
+        let mut runs: Vec<Job> = run_indexed(rates.len() * seeds, opts.effective_threads(), |i| {
             let rate = rates[i / seeds];
             let seed = (i % seeds) as u64 + 1;
             let arrivals = PoissonSource::new(rate, 552, seed).take_until(opts.duration_s);
-            (
-                run_once(cfg, Discipline::Conventional, seed, &arrivals, opts.duration_s),
-                run_once(
-                    cfg,
-                    Discipline::Ldlp(BatchPolicy::DCacheFit),
-                    seed,
-                    &arrivals,
-                    opts.duration_s,
-                ),
-                run_once(cfg, Discipline::Ilp, seed, &arrivals, opts.duration_s),
-            )
+            let sink = if observe {
+                obs::Sink::record(false)
+            } else {
+                obs::Sink::Off
+            };
+            let (conv, sink) =
+                run_once_with_sink(cfg, Discipline::Conventional, seed, &arrivals, opts.duration_s, sink, "conv/");
+            let (ldlp, sink) = run_once_with_sink(
+                cfg,
+                Discipline::Ldlp(BatchPolicy::DCacheFit),
+                seed,
+                &arrivals,
+                opts.duration_s,
+                sink,
+                "ldlp/",
+            );
+            let (ilp, sink) =
+                run_once_with_sink(cfg, Discipline::Ilp, seed, &arrivals, opts.duration_s, sink, "ilp/");
+            (conv, ldlp, ilp, sink.into_recorder())
         });
-        rates
+        let merged = merge_recorders(runs.iter_mut().map(|r| r.3.take()));
+        let points = rates
             .iter()
             .enumerate()
             .map(|(ri, &rate)| {
                 let chunk = &runs[ri * seeds..(ri + 1) * seeds];
-                let pick = |sel: fn(&(SimReport, SimReport, SimReport)) -> &SimReport| {
+                let pick = |sel: fn(&Job) -> &SimReport| {
                     SimReport::average(&chunk.iter().map(|r| sel(r).clone()).collect::<Vec<_>>())
+                        .expect("at least one seed")
                 };
                 SweepPoint {
                     x: rate,
@@ -462,45 +534,182 @@ pub mod sweep {
                     ilp: Some(pick(|r| &r.2)),
                 }
             })
-            .collect()
+            .collect();
+        (points, merged)
+    }
+
+    /// Folds per-job recorders into one, in job-index order (the jobs ran
+    /// on worker threads, but `run_indexed` returns them in index order,
+    /// so the fold is deterministic for any thread count).
+    fn merge_recorders(
+        recorders: impl Iterator<Item = Option<Box<obs::Recorder>>>,
+    ) -> Option<Box<obs::Recorder>> {
+        let mut merged: Option<Box<obs::Recorder>> = None;
+        for rec in recorders.flatten() {
+            match merged.as_mut() {
+                None => merged = Some(rec),
+                Some(m) => m.merge(&rec),
+            }
+        }
+        merged
     }
 
     /// Figure 7: trace-driven self-similar traffic at a fixed offered
     /// load, sweeping the CPU clock.
     pub fn clock_sweep(opts: &RunOpts, base: MachineConfig, clocks: &[f64]) -> Vec<SweepPoint> {
+        clock_sweep_observed(opts, base, clocks, false).0
+    }
+
+    type ClockJob = (SimReport, SimReport, Option<Box<obs::Recorder>>);
+
+    /// [`clock_sweep`] with optional metrics recording, merged in
+    /// job-index order like [`poisson_sweep_observed`].
+    pub fn clock_sweep_observed(
+        opts: &RunOpts,
+        base: MachineConfig,
+        clocks: &[f64],
+        observe: bool,
+    ) -> (Vec<SweepPoint>, Option<Box<obs::Recorder>>) {
         let seeds = opts.seeds as usize;
-        let runs = run_indexed(clocks.len() * seeds, opts.effective_threads(), |i| {
+        let mut runs = run_indexed(clocks.len() * seeds, opts.effective_threads(), |i| {
             let cfg = base.with_clock_mhz(clocks[i / seeds]);
             let seed = (i % seeds) as u64 + 1;
             let arrivals = SelfSimilarSource::bellcore_like(seed).take_until(opts.duration_s);
-            (
-                run_once(cfg, Discipline::Conventional, seed, &arrivals, opts.duration_s),
-                run_once(
-                    cfg,
-                    Discipline::Ldlp(BatchPolicy::DCacheFit),
-                    seed,
-                    &arrivals,
-                    opts.duration_s,
-                ),
-            )
+            let sink = if observe {
+                obs::Sink::record(false)
+            } else {
+                obs::Sink::Off
+            };
+            let (conv, sink) =
+                run_once_with_sink(cfg, Discipline::Conventional, seed, &arrivals, opts.duration_s, sink, "conv/");
+            let (ldlp, sink) = run_once_with_sink(
+                cfg,
+                Discipline::Ldlp(BatchPolicy::DCacheFit),
+                seed,
+                &arrivals,
+                opts.duration_s,
+                sink,
+                "ldlp/",
+            );
+            (conv, ldlp, sink.into_recorder())
         });
-        clocks
+        let merged = merge_recorders(runs.iter_mut().map(|r| r.2.take()));
+        let points = clocks
             .iter()
             .enumerate()
             .map(|(ci, &mhz)| {
                 let chunk = &runs[ci * seeds..(ci + 1) * seeds];
+                let avg = |sel: fn(&ClockJob) -> &SimReport| {
+                    SimReport::average(&chunk.iter().map(|r| sel(r).clone()).collect::<Vec<_>>())
+                        .expect("at least one seed")
+                };
                 SweepPoint {
                     x: mhz,
-                    conventional: SimReport::average(
-                        &chunk.iter().map(|r| r.0.clone()).collect::<Vec<_>>(),
-                    ),
-                    ldlp: SimReport::average(
-                        &chunk.iter().map(|r| r.1.clone()).collect::<Vec<_>>(),
-                    ),
+                    conventional: avg(|r| &r.0),
+                    ldlp: avg(|r| &r.1),
                     ilp: None,
                 }
             })
+            .collect();
+        (points, merged)
+    }
+
+    /// One fully-traced run per discipline at a single representative
+    /// point (seed 1), for the chrome://tracing export. Returns
+    /// `(process name, recorder)` pairs in a fixed order.
+    pub fn traced_poisson_runs(
+        opts: &RunOpts,
+        cfg: MachineConfig,
+        rate: f64,
+    ) -> Vec<(&'static str, Box<obs::Recorder>)> {
+        let arrivals = PoissonSource::new(rate, 552, 1).take_until(opts.duration_s);
+        let runs: [(Discipline, &'static str, &'static str); 3] = [
+            (Discipline::Conventional, "conventional", "conv/"),
+            (Discipline::Ldlp(BatchPolicy::DCacheFit), "ldlp", "ldlp/"),
+            (Discipline::Ilp, "ilp", "ilp/"),
+        ];
+        runs.into_iter()
+            .map(|(d, name, prefix)| {
+                let (_, sink) = run_once_with_sink(
+                    cfg,
+                    d,
+                    1,
+                    &arrivals,
+                    opts.duration_s,
+                    obs::Sink::record(true),
+                    prefix,
+                );
+                (name, sink.into_recorder().expect("sink was attached"))
+            })
             .collect()
+    }
+
+    /// Like [`traced_poisson_runs`] but over the self-similar trace
+    /// source at one clock speed (conventional and LDLP only, matching
+    /// the Figure 7 sweep).
+    pub fn traced_clock_runs(
+        opts: &RunOpts,
+        base: MachineConfig,
+        clock_mhz: f64,
+    ) -> Vec<(&'static str, Box<obs::Recorder>)> {
+        let cfg = base.with_clock_mhz(clock_mhz);
+        let arrivals = SelfSimilarSource::bellcore_like(1).take_until(opts.duration_s);
+        let runs: [(Discipline, &'static str, &'static str); 2] = [
+            (Discipline::Conventional, "conventional", "conv/"),
+            (Discipline::Ldlp(BatchPolicy::DCacheFit), "ldlp", "ldlp/"),
+        ];
+        runs.into_iter()
+            .map(|(d, name, prefix)| {
+                let (_, sink) = run_once_with_sink(
+                    cfg,
+                    d,
+                    1,
+                    &arrivals,
+                    opts.duration_s,
+                    obs::Sink::record(true),
+                    prefix,
+                );
+                (name, sink.into_recorder().expect("sink was attached"))
+            })
+            .collect()
+    }
+}
+
+pub mod obs_io {
+    //! Exporters for the observability layer: a chrome://tracing event
+    //! file and a deterministic per-run metrics JSON, both written into
+    //! the experiment's output directory behind `--trace` / `--metrics`.
+
+    use obs::{Recorder, TracePart};
+    use std::path::Path;
+
+    /// Writes `OUT_DIR/trace.json` (chrome trace-event format — open
+    /// chrome://tracing or https://ui.perfetto.dev and load the file).
+    pub fn write_trace(out_dir: &Path, parts: &[TracePart]) {
+        std::fs::create_dir_all(out_dir).expect("create output directory");
+        let path = out_dir.join("trace.json");
+        std::fs::write(&path, obs::trace::chrome_trace_json(parts)).expect("write trace JSON");
+        println!("wrote {} (load in chrome://tracing)", path.display());
+    }
+
+    /// Writes `OUT_DIR/metrics.json`. The meta block deliberately
+    /// excludes the worker-thread count: the file must be byte-identical
+    /// for every `--threads` value.
+    pub fn write_metrics(out_dir: &Path, meta: &[(&str, String)], rec: &Recorder) {
+        std::fs::create_dir_all(out_dir).expect("create output directory");
+        let path = out_dir.join("metrics.json");
+        std::fs::write(&path, obs::metrics::metrics_json(meta, rec)).expect("write metrics JSON");
+        println!("wrote {}", path.display());
+    }
+
+    /// The standard meta block for a sweep binary.
+    pub fn run_meta(experiment: &str, opts: &crate::RunOpts) -> Vec<(&'static str, String)> {
+        vec![
+            ("experiment", experiment.to_string()),
+            ("seeds", opts.seeds.to_string()),
+            ("duration_s", format!("{}", opts.duration_s)),
+            ("smoke", opts.smoke.to_string()),
+        ]
     }
 }
 
@@ -602,6 +811,9 @@ pub mod impairments {
         pub ooo_buffered: u64,
         /// IP reassemblies reclaimed by the timer after fragment loss.
         pub reassembly_timeouts: u64,
+        /// IP reassemblies displaced by a newer datagram when the
+        /// per-host reassembly table was full (distinct from timeouts).
+        pub reassembly_evictions: u64,
     }
 
     /// A link-layer [`Device`] with the impairment channel on its
@@ -701,6 +913,13 @@ pub mod impairments {
     /// point is precisely how much recovery work was needed — and the
     /// whole exchange is deterministic for a given channel config.
     pub fn wire_exercise(cfg: ImpairConfig) -> WireCounters {
+        wire_exercise_with_sink(cfg, obs::Sink::Off).0
+    }
+
+    /// [`wire_exercise`] with an observability sink on the receiving
+    /// interface: instant events (`wire/frame_in`, `wire/parse_error`,
+    /// `wire/fragment_in`, …) stamped in milliseconds of link time.
+    pub fn wire_exercise_with_sink(cfg: ImpairConfig, sink: obs::Sink) -> (WireCounters, obs::Sink) {
         let (ad, bd) = Channel::pair();
         let mut ad = ImpairedDevice::new(ad, cfg);
         let mut bd = ImpairedDevice::new(
@@ -712,6 +931,7 @@ pub mod impairments {
         );
         let mut a = wire_host(1);
         let mut b = wire_host(2);
+        b.set_sink(sink, "wire/");
         let (a_ip, a_mac, b_ip, b_mac) = (a.ip(), a.mac(), b.ip(), b.mac());
         a.add_arp_entry(b_ip, b_mac);
         b.add_arp_entry(a_ip, a_mac);
@@ -777,12 +997,14 @@ pub mod impairments {
         let end = now + REASSEMBLY_TIMEOUT_MS + 1;
         a.poll(&mut ad, end);
         b.poll(&mut bd, end);
-        WireCounters {
+        let counters = WireCounters {
             checksum_rejects: a.stats().parse_errors + b.stats().parse_errors,
             tcp_retransmits: a.tcp.stats().retransmits + b.tcp.stats().retransmits,
             ooo_buffered: a.tcp.stats().ooo_buffered + b.tcp.stats().ooo_buffered,
             reassembly_timeouts: a.reassembly_stats().timeouts + b.reassembly_stats().timeouts,
-        }
+            reassembly_evictions: a.reassembly_stats().evictions + b.reassembly_stats().evictions,
+        };
+        (counters, b.take_sink())
     }
 
     /// One finished cell: seed-averaged reports for both disciplines,
@@ -816,10 +1038,23 @@ pub mod impairments {
         net: simnet::ImpairCounters,
         duration_s: f64,
     ) -> SimReport {
+        run_discipline_with_sink(discipline, seed, deliveries, net, duration_s, obs::Sink::Off, "").0
+    }
+
+    fn run_discipline_with_sink(
+        discipline: Discipline,
+        seed: u64,
+        deliveries: &[simnet::ImpairedArrival],
+        net: simnet::ImpairCounters,
+        duration_s: f64,
+        sink: obs::Sink,
+        prefix: &str,
+    ) -> (SimReport, obs::Sink) {
         let (machine, layers) = signaling_stack(goal_machine(), seed);
         // AAL5 (layer 0) carries the CRC-32, so corrupted deliveries die
         // there after costing exactly one layer of processing.
         let mut engine = StackEngine::new(machine, layers, discipline).with_verify_layer(0);
+        engine.set_sink(sink, prefix);
         let sim_cfg = SimConfig {
             duration_s,
             pool_seed: seed,
@@ -831,7 +1066,67 @@ pub mod impairments {
             report.conservation_holds(),
             "conservation violated: {report:?}"
         );
-        report
+        (report, engine.take_sink())
+    }
+
+    /// The representative cell the `--trace`/`--metrics` pass reruns at
+    /// seed 1: mid-grid loss with reordering, present in both the smoke
+    /// and full grids.
+    pub const OBSERVED_CELL: ImpairCell = ImpairCell {
+        loss_pct: 2.0,
+        bursty: false,
+        reorder_depth: 8,
+    };
+
+    /// Reruns [`OBSERVED_CELL`] with sinks attached: the signalling
+    /// workload under both disciplines shares one recorder (cycle
+    /// timestamps), and the wire-level exchange gets its own (millisecond
+    /// timestamps). Returns `(sim recorder, wire recorder)`.
+    pub fn observed_cell(
+        duration_s: f64,
+        collect_spans: bool,
+    ) -> (Box<obs::Recorder>, Box<obs::Recorder>) {
+        let cell = OBSERVED_CELL;
+        let seed = 1;
+        let cfg = LossyCallConfig {
+            pairs_per_s: PAIRS_PER_S,
+            hold_s: HOLD_S,
+            duration_s,
+            seed,
+            channel: cell_channel(cell, seed),
+            retry: RetryPolicy::default(),
+        };
+        let (deliveries, counters, _stats) = lossy_call_arrivals(&cfg);
+        let sink = obs::Sink::record(collect_spans);
+        let (_, sink) = run_discipline_with_sink(
+            Discipline::Conventional,
+            seed,
+            &deliveries,
+            counters,
+            duration_s,
+            sink,
+            "conv/",
+        );
+        let (_, sink) = run_discipline_with_sink(
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+            seed,
+            &deliveries,
+            counters,
+            duration_s,
+            sink,
+            "ldlp/",
+        );
+        let sim_rec = sink.into_recorder().expect("sink was attached");
+        let (_, wire_sink) = wire_exercise_with_sink(
+            ImpairConfig {
+                reorder_prob: 0.25,
+                reorder_depth: cell.reorder_depth,
+                ..cell_channel(cell, 0x0eed)
+            },
+            obs::Sink::record(collect_spans),
+        );
+        let wire_rec = wire_sink.into_recorder().expect("sink was attached");
+        (sim_rec, wire_rec)
     }
 
     fn run_cell(cell: ImpairCell, seeds: u64, duration_s: f64) -> ImpairPoint {
@@ -884,8 +1179,8 @@ pub mod impairments {
         });
         ImpairPoint {
             cell,
-            conventional: SimReport::average(&conv),
-            ldlp: SimReport::average(&ldlp),
+            conventional: SimReport::average(&conv).expect("at least one seed"),
+            ldlp: SimReport::average(&ldlp).expect("at least one seed"),
             recovery,
             wire,
         }
@@ -900,7 +1195,7 @@ pub mod impairments {
         })
     }
 
-    pub const IMPAIRMENTS_HEADER: [&str; 19] = [
+    pub const IMPAIRMENTS_HEADER: [&str; 20] = [
         "loss_pct",
         "burst",
         "reorder_depth",
@@ -920,6 +1215,7 @@ pub mod impairments {
         "wire_tcp_retransmits",
         "wire_ooo_buffered",
         "wire_reassembly_timeouts",
+        "wire_reassembly_evictions",
     ];
 
     pub fn impairments_rows(points: &[ImpairPoint]) -> Vec<Vec<String>> {
@@ -946,6 +1242,7 @@ pub mod impairments {
                     p.wire.tcp_retransmits.to_string(),
                     p.wire.ooo_buffered.to_string(),
                     p.wire.reassembly_timeouts.to_string(),
+                    p.wire.reassembly_evictions.to_string(),
                 ]
             })
             .collect()

@@ -79,6 +79,50 @@ fn seed_average_is_thread_count_invariant() {
 }
 
 #[test]
+fn metrics_json_is_thread_count_invariant() {
+    use bench::sweep::poisson_sweep_observed;
+
+    let rates = [2000.0, 9000.0];
+    let cfg = MachineConfig::synthetic_benchmark();
+    let run = |threads| {
+        let (_, rec) = poisson_sweep_observed(&reduced_opts(threads), cfg, &rates, true);
+        let rec = rec.expect("metrics recorder");
+        obs::metrics::metrics_json(&[("experiment", "determinism-test".into())], &rec)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "metrics JSON differs by thread count");
+    // The document really carries per-layer spans and value histograms.
+    assert!(serial.contains("\"ldlp/rx:"), "per-layer span entries");
+    assert!(serial.contains("\"ldlp/latency_us\""), "latency histogram");
+    assert!(serial.contains("\"conv/batch\""), "batch spans");
+}
+
+#[test]
+fn traced_run_produces_chrome_trace_events() {
+    use bench::sweep::traced_poisson_runs;
+
+    let cfg = MachineConfig::synthetic_benchmark();
+    let traced = traced_poisson_runs(&reduced_opts(1), cfg, 6000.0);
+    assert_eq!(traced.len(), 3, "conventional, ldlp, ilp");
+    for (name, rec) in &traced {
+        assert!(!rec.events().is_empty(), "{name} collected span events");
+    }
+    let parts: Vec<obs::TracePart> = traced
+        .iter()
+        .map(|(name, rec)| obs::TracePart {
+            process: name,
+            recorder: rec,
+            units_per_us: cfg.clock_mhz,
+        })
+        .collect();
+    let json = obs::trace::chrome_trace_json(&parts);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""), "complete events present");
+    assert!(json.contains("ldlp/rx:"), "layer span names present");
+}
+
+#[test]
 fn impairment_sweep_csv_is_thread_count_invariant() {
     use bench::impairments::{grid, impairment_sweep, impairments_rows, IMPAIRMENTS_HEADER};
 

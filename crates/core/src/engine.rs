@@ -16,6 +16,7 @@
 use crate::layer::{paper, SimLayer, SimMessage};
 use crate::policy::BatchPolicy;
 use cachesim::{CycleCount, Machine, Region};
+use obs::{NameId, Sink, SpanEvent};
 
 /// The scheduling discipline (Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +74,17 @@ pub struct StackEngine {
     /// Per-batch scratch, reused across batches so the steady-state hot
     /// path allocates nothing.
     scratch: BatchScratch,
+    /// Observability sink ([`Sink::Off`] by default: every probe is one
+    /// branch, no allocation — `tests/alloc.rs` proves it).
+    sink: Sink,
+    /// Name prefix applied to everything this engine interns (e.g.
+    /// `"ldlp/"`), so recorders from different disciplines can be merged
+    /// without conflating their layers.
+    obs_prefix: String,
+    /// Pre-interned span names for the receive layers (empty when off).
+    obs_rx: Vec<NameId>,
+    /// Pre-interned span names for the transmit layers (empty when off).
+    obs_tx: Vec<NameId>,
 }
 
 /// Reusable per-batch buffers for the blocked (LDLP) path.
@@ -105,7 +117,52 @@ impl StackEngine {
             reply_next: 0,
             verify_layer: 0,
             scratch: BatchScratch::default(),
+            sink: Sink::Off,
+            obs_prefix: String::new(),
+            obs_rx: Vec::new(),
+            obs_tx: Vec::new(),
         }
+    }
+
+    /// Attaches an observability sink. Layer span names are interned up
+    /// front as `<prefix>rx:<layer>` / `<prefix>tx:<layer>` so the hot
+    /// path only passes pre-computed ids. Passing [`Sink::Off`] detaches.
+    pub fn set_sink(&mut self, mut sink: Sink, prefix: &str) {
+        self.obs_rx.clear();
+        self.obs_tx.clear();
+        self.obs_prefix.clear();
+        self.obs_prefix.push_str(prefix);
+        if let Some(rec) = sink.on_mut() {
+            for l in &self.layers {
+                self.obs_rx.push(rec.intern(&format!("{prefix}rx:{}", l.name())));
+            }
+            for l in &self.tx_layers {
+                self.obs_tx.push(rec.intern(&format!("{prefix}tx:{}", l.name())));
+            }
+        }
+        self.sink = sink;
+    }
+
+    /// Detaches and returns the sink (leaving [`Sink::Off`] behind), so
+    /// callers can export what was recorded.
+    pub fn take_sink(&mut self) -> Sink {
+        self.sink.take()
+    }
+
+    /// Mutable access to the attached sink (for recording run-level
+    /// events, e.g. the simulator's batch spans).
+    pub fn sink_mut(&mut self) -> &mut Sink {
+        &mut self.sink
+    }
+
+    /// Interns `name` under this engine's sink prefix; `None` when the
+    /// sink is off. Off the hot path — callers cache the id.
+    pub fn obs_intern(&mut self, name: &str) -> Option<NameId> {
+        let Self {
+            sink, obs_prefix, ..
+        } = self;
+        sink.on_mut()
+            .map(|rec| rec.intern(&format!("{obs_prefix}{name}")))
     }
 
     /// Overrides the per-boundary queueing cost (default 40 instructions).
@@ -227,12 +284,24 @@ impl StackEngine {
                 // Under ILP the data loop runs once (on the first layer)
                 // and performs all layers' per-byte work.
                 let touch = if integrated { li == 0 } else { true };
-                self.apply_layer(li, msg, touch, integrated && li == 0);
+                if self.sink.is_on() {
+                    let (sc, si, sd) = self.obs_begin();
+                    self.apply_layer(li, msg, touch, integrated && li == 0);
+                    self.obs_span(self.obs_rx.get(li).copied(), sc, si, sd, 1);
+                } else {
+                    self.apply_layer(li, msg, touch, integrated && li == 0);
+                }
             }
             if self.is_duplex() && !msg.corrupted {
                 let reply = self.next_reply_buf();
                 for li in 0..self.tx_layers.len() {
-                    self.apply_tx(li, reply);
+                    if self.sink.is_on() {
+                        let (sc, si, sd) = self.obs_begin();
+                        self.apply_tx(li, reply);
+                        self.obs_span(self.obs_tx.get(li).copied(), sc, si, sd, 1);
+                    } else {
+                        self.apply_tx(li, reply);
+                    }
                 }
             }
             let (i1, d1) = self.miss_counters();
@@ -264,11 +333,20 @@ impl StackEngine {
         done.resize(n, 0);
         let last = self.layers.len() - 1;
         for li in 0..self.layers.len() {
+            // One span per layer *pass* over the batch — the unit LDLP's
+            // amortization argument is about.
+            let pass = if self.sink.is_on() {
+                Some(self.obs_begin())
+            } else {
+                None
+            };
+            let mut active = 0u32;
             for (mi, msg) in msgs.iter().enumerate() {
                 // Corrupted messages leave the batch after verification.
                 if msg.corrupted && li > self.verify_layer {
                     continue;
                 }
+                active += 1;
                 let (i0, d0) = self.miss_counters();
                 // Layer-boundary queueing: each message is enqueued for
                 // this layer and dequeued from the previous one.
@@ -284,6 +362,9 @@ impl StackEngine {
                 {
                     done[mi] = self.machine.cycles();
                 }
+            }
+            if let Some((sc, si, sd)) = pass {
+                self.obs_span(self.obs_rx.get(li).copied(), sc, si, sd, active);
             }
         }
         if self.is_duplex() {
@@ -301,10 +382,17 @@ impl StackEngine {
             }
             let tx_last = self.tx_layers.len() - 1;
             for li in 0..self.tx_layers.len() {
+                let pass = if self.sink.is_on() {
+                    Some(self.obs_begin())
+                } else {
+                    None
+                };
+                let mut active = 0u32;
                 for (mi, &reply) in replies.iter().enumerate() {
                     if msgs[mi].corrupted {
                         continue;
                     }
+                    active += 1;
                     let (i0, d0) = self.miss_counters();
                     self.machine.execute(self.queue_instr);
                     self.apply_tx(li, reply);
@@ -314,6 +402,9 @@ impl StackEngine {
                     if li == tx_last {
                         done[mi] = self.machine.cycles();
                     }
+                }
+                if let Some((sc, si, sd)) = pass {
+                    self.obs_span(self.obs_tx.get(li).copied(), sc, si, sd, active);
                 }
             }
             self.scratch.replies = replies;
@@ -387,6 +478,34 @@ impl StackEngine {
     fn miss_counters(&self) -> (u64, u64) {
         let s = self.machine.stats();
         (s.icache.misses, s.dcache.misses)
+    }
+
+    /// Snapshot taken before an observed section: (cycles, I-misses,
+    /// D-misses). Only called when the sink is on.
+    fn obs_begin(&self) -> (CycleCount, u64, u64) {
+        let (i, d) = self.miss_counters();
+        (self.machine.cycles(), i, d)
+    }
+
+    /// Closes an observed section opened by [`Self::obs_begin`]: charges
+    /// the cycle and miss deltas to `name` as one span covering `batch`
+    /// messages. No-op when the sink is off or the name was never
+    /// interned (e.g. a sink attached with no layers).
+    fn obs_span(&mut self, name: Option<NameId>, start: CycleCount, i0: u64, d0: u64, batch: u32) {
+        let (i1, d1) = self.miss_counters();
+        let end = self.machine.cycles();
+        let Some(name) = name else { return };
+        if let Some(rec) = self.sink.on_mut() {
+            rec.span(SpanEvent {
+                name,
+                start,
+                dur: end - start,
+                batch,
+                aux: 0,
+                imisses: i1 - i0,
+                dmisses: d1 - d0,
+            });
+        }
     }
 }
 
@@ -657,5 +776,68 @@ mod tests {
         let before = e.machine().cycles();
         assert!(e.process_batch(&[]).is_empty());
         assert_eq!(e.machine().cycles(), before);
+    }
+
+    #[test]
+    fn ldlp_sink_records_one_span_per_layer_pass() {
+        let mut e = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 11);
+        e.set_sink(obs::Sink::record(true), "ldlp/");
+        let mut pool = MessagePool::new(16, 1536, 5);
+        let batch = msgs(&mut pool, 14);
+        let completions = e.process_batch(&batch);
+        let rec = e.take_sink().into_recorder().expect("sink was on");
+        // One blocked pass per layer, one span each.
+        assert_eq!(rec.events().len(), 5);
+        let total_im: u64 = rec.events().iter().map(|ev| ev.imisses).sum();
+        let total_dm: u64 = rec.events().iter().map(|ev| ev.dmisses).sum();
+        let comp_im: u64 = completions.iter().map(|c| c.imisses).sum();
+        let comp_dm: u64 = completions.iter().map(|c| c.dmisses).sum();
+        assert_eq!(total_im, comp_im, "spans charge exactly the misses attributed");
+        assert_eq!(total_dm, comp_dm);
+        for ev in rec.events() {
+            assert_eq!(ev.batch, 14, "every pass covered the whole batch");
+            assert!(ev.dur > 0);
+            assert!(rec.name(ev.name).starts_with("ldlp/rx:"));
+        }
+        // Spans tile the run: contiguous, in cycle order.
+        for w in rec.events().windows(2) {
+            assert_eq!(w[0].start + w[0].dur, w[1].start);
+        }
+    }
+
+    #[test]
+    fn conventional_sink_records_per_message_spans() {
+        let mut e = engine(Discipline::Conventional, 11);
+        e.set_sink(obs::Sink::record(false), "conv/");
+        let mut pool = MessagePool::new(16, 1536, 5);
+        let c = e.process_batch(&msgs(&mut pool, 3));
+        assert_eq!(c.len(), 3);
+        let rec = e.take_sink().into_recorder().expect("sink was on");
+        assert!(rec.events().is_empty(), "metrics-only mode keeps no raw events");
+        // 3 messages x 5 layers, folded per layer name.
+        let accs: Vec<_> = rec.iter_spans().collect();
+        assert_eq!(accs.len(), 5);
+        for (name, acc) in accs {
+            assert!(name.starts_with("conv/rx:"));
+            assert_eq!(acc.spans, 3, "one span per message per layer");
+            assert_eq!(acc.messages, 3);
+        }
+    }
+
+    #[test]
+    fn sink_does_not_change_simulation_results() {
+        let run = |sink: Option<obs::Sink>| {
+            let mut e = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 13);
+            if let Some(s) = sink {
+                e.set_sink(s, "ldlp/");
+            }
+            let mut pool = MessagePool::new(16, 1536, 9);
+            let c = e.process_batch(&msgs(&mut pool, 14));
+            (c, e.machine().cycles())
+        };
+        let (plain, cycles_plain) = run(None);
+        let (observed, cycles_obs) = run(Some(obs::Sink::record(true)));
+        assert_eq!(plain, observed, "observation must not perturb the run");
+        assert_eq!(cycles_plain, cycles_obs);
     }
 }

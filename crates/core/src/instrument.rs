@@ -9,11 +9,16 @@
 use crate::graph::{Emitter, GraphLayer};
 use crate::layer::paper;
 use cachesim::{Machine, Region};
+use obs::{NameId, Recorder, SpanEvent};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// A machine shared by every instrumented layer of one graph.
 pub type SharedMachine = Rc<RefCell<Machine>>;
+
+/// A recorder shared by every instrumented layer of one graph (the
+/// graph runtime is single-threaded, like the machine it meters).
+pub type SharedRecorder = Rc<RefCell<Recorder>>;
 
 /// Wraps a functional layer with a memory-system footprint.
 pub struct CostedLayer<L> {
@@ -27,6 +32,10 @@ pub struct CostedLayer<L> {
     base_cycles: u64,
     /// Data-loop cost per message byte.
     loop_cpb: f64,
+    /// Optional observability: one cycle-stamped span per activation,
+    /// with the name interned at attach time so the hot path is
+    /// lookup-free. `None` costs one branch per activation.
+    obs: Option<(SharedRecorder, NameId)>,
 }
 
 impl<L> CostedLayer<L> {
@@ -39,6 +48,7 @@ impl<L> CostedLayer<L> {
             data,
             base_cycles: paper::BASE_CYCLES,
             loop_cpb: paper::LOOP_CPB,
+            obs: None,
         }
     }
 
@@ -46,6 +56,18 @@ impl<L> CostedLayer<L> {
     pub fn with_cycles(mut self, base_cycles: u64, loop_cpb: f64) -> Self {
         self.base_cycles = base_cycles;
         self.loop_cpb = loop_cpb;
+        self
+    }
+}
+
+impl<L> CostedLayer<L> {
+    /// Attaches a shared recorder: every activation records a span named
+    /// `graph:<name>` stamped in the shared machine's cycles. (`name` is
+    /// passed explicitly rather than read from the layer because the
+    /// message type the layer handles is not known here.)
+    pub fn with_recorder(mut self, rec: SharedRecorder, name: &str) -> Self {
+        let id = rec.borrow_mut().intern(&format!("graph:{name}"));
+        self.obs = Some((rec, id));
         self
     }
 }
@@ -84,6 +106,7 @@ where
     fn process(&mut self, msg: M, out: &mut Emitter<M>) {
         {
             let mut m = self.machine.borrow_mut();
+            let pre = self.obs.as_ref().map(|_| (m.cycles(), m.stats()));
             m.fetch_code(self.code);
             m.read_data(self.data);
             if !msg.is_empty() {
@@ -91,6 +114,18 @@ where
             }
             let cycles = self.base_cycles + (self.loop_cpb * msg.len() as f64).round() as u64;
             m.execute(cycles);
+            if let (Some((rec, name)), Some((start, s0))) = (&self.obs, pre) {
+                let s1 = m.stats();
+                rec.borrow_mut().span(SpanEvent {
+                    name: *name,
+                    start,
+                    dur: m.cycles() - start,
+                    batch: 1,
+                    aux: 0,
+                    imisses: s1.icache.misses - s0.icache.misses,
+                    dmisses: s1.dcache.misses - s0.dcache.misses,
+                });
+            }
         }
         self.inner.process(msg, out);
     }
@@ -181,6 +216,43 @@ mod tests {
         // 5 layers x 1652 instruction cycles for a 552-byte message.
         assert_eq!(stats.instr_cycles, 5 * 1652);
         assert!(stats.stall_cycles > 0);
+    }
+
+    #[test]
+    fn costed_layer_records_activation_spans() {
+        let machine: SharedMachine = Rc::new(RefCell::new(Machine::new(
+            MachineConfig::synthetic_benchmark(),
+        )));
+        let rec: SharedRecorder = Rc::new(RefCell::new(Recorder::new(true)));
+        let mut alloc = cachesim::AddressAllocator::new(0x10_0000, 32);
+        let mut g = LayerGraph::new(Schedule::Conventional);
+        let sink = CostedLayer::new(
+            Pass {
+                name: "sink",
+                sink: true,
+            },
+            machine.clone(),
+            alloc.alloc(6 * 1024),
+            alloc.alloc(256),
+        )
+        .with_recorder(rec.clone(), "sink");
+        let top = g.add_layer(Box::new(sink), vec![]);
+        g.set_entry(top);
+        g.inject(vec![0u8; 552]);
+        g.inject(vec![0u8; 552]);
+        let delivered = g.run();
+        assert_eq!(delivered.len(), 2);
+        let rec = rec.borrow();
+        assert_eq!(rec.events().len(), 2, "one span per activation");
+        for ev in rec.events() {
+            assert_eq!(rec.name(ev.name), "graph:sink");
+            assert!(ev.dur > 0, "activations cost cycles");
+            assert_eq!(ev.batch, 1);
+        }
+        assert!(
+            rec.events().iter().any(|ev| ev.imisses > 0),
+            "cold code fetches show up as I-misses"
+        );
     }
 
     #[test]

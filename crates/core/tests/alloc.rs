@@ -56,8 +56,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn steady_state_allocs(discipline: Discipline) -> u64 {
+    steady_state_allocs_with(discipline, None)
+}
+
+fn steady_state_allocs_with(discipline: Discipline, sink: Option<obs::Sink>) -> u64 {
     let (m, layers) = paper_stack(MachineConfig::synthetic_benchmark(), 11);
     let mut engine = StackEngine::new(m, layers, discipline);
+    if let Some(sink) = sink {
+        // Interning happens here, outside the measurement window; the
+        // per-batch fold must then be allocation-free.
+        engine.set_sink(sink, "ldlp/");
+    }
     let mut pool = MessagePool::new(16, 1536, 5);
     let batch: Vec<SimMessage> = (0..14).map(|i| pool.make_message(i as u64, 552)).collect();
     let mut out: Vec<Completion> = Vec::new();
@@ -99,5 +108,28 @@ fn ilp_hot_path_does_not_allocate() {
         steady_state_allocs(Discipline::Ilp),
         0,
         "ILP steady-state batches must reuse preallocated buffers"
+    );
+}
+
+#[test]
+fn metrics_sink_hot_path_does_not_allocate() {
+    // Metrics mode (no span collection) folds every event into
+    // preallocated accumulators: observing must not add heap traffic.
+    assert_eq!(
+        steady_state_allocs_with(
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+            Some(obs::Sink::record(false)),
+        ),
+        0,
+        "metrics-mode observation must not allocate per batch"
+    );
+}
+
+#[test]
+fn conventional_metrics_sink_hot_path_does_not_allocate() {
+    assert_eq!(
+        steady_state_allocs_with(Discipline::Conventional, Some(obs::Sink::record(false))),
+        0,
+        "metrics-mode observation must not allocate per message"
     );
 }

@@ -15,6 +15,7 @@ use crate::wire::ethernet::{EtherType, EthernetAddr, EthernetRepr, ETHERNET_HEAD
 use crate::wire::icmp::{IcmpRepr, IcmpType};
 use crate::wire::ipv4::{Ipv4Addr, Ipv4Repr, Protocol, IPV4_HEADER_LEN};
 use crate::wire::udp::UdpRepr;
+use obs::{NameId, Sink};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -152,6 +153,18 @@ pub struct IfaceStats {
     pub datagrams_reassembled: u64,
 }
 
+/// Interned event names for the interface's observability sink, filled
+/// in once when the sink is attached so the input path stays lookup-free.
+#[derive(Debug, Clone, Copy)]
+struct ObsIds {
+    frame_in: NameId,
+    parse_error: NameId,
+    fragment_in: NameId,
+    datagram_reassembled: NameId,
+    reassembly_timeout: NameId,
+    reassembly_eviction: NameId,
+}
+
 /// A received UDP datagram queued on a bound port.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UdpDatagram {
@@ -187,6 +200,10 @@ pub struct Interface {
     reassembler: Reassembler,
     ip_ident: u16,
     stats: IfaceStats,
+    /// Optional observability sink: instant events stamped with the
+    /// interface clock (milliseconds). [`Sink::Off`] by default.
+    sink: Sink,
+    obs: Option<ObsIds>,
 }
 
 impl Interface {
@@ -203,6 +220,41 @@ impl Interface {
             reassembler: Reassembler::new(),
             ip_ident: 1,
             stats: IfaceStats::default(),
+            sink: Sink::Off,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability sink; event names are interned as
+    /// `<prefix><event>` (e.g. `eth0/frame_in`). Events are stamped with
+    /// the caller-supplied [`Instant`] (milliseconds, like the TCP
+    /// timers), never a wall clock.
+    pub fn set_sink(&mut self, mut sink: Sink, prefix: &str) {
+        self.obs = sink.on_mut().map(|rec| ObsIds {
+            frame_in: rec.intern(&format!("{prefix}frame_in")),
+            parse_error: rec.intern(&format!("{prefix}parse_error")),
+            fragment_in: rec.intern(&format!("{prefix}fragment_in")),
+            datagram_reassembled: rec.intern(&format!("{prefix}datagram_reassembled")),
+            reassembly_timeout: rec.intern(&format!("{prefix}reassembly_timeout")),
+            reassembly_eviction: rec.intern(&format!("{prefix}reassembly_eviction")),
+        });
+        self.sink = sink;
+    }
+
+    /// Detaches and returns the sink (leaving [`Sink::Off`] behind).
+    pub fn take_sink(&mut self) -> Sink {
+        self.obs = None;
+        self.sink.take()
+    }
+
+    /// Emits `n` copies of one instant event, stamped `now`.
+    fn obs_instant(&mut self, pick: fn(&ObsIds) -> NameId, now: Instant, n: u64) {
+        let Some(ids) = &self.obs else { return };
+        let name = pick(ids);
+        if let Some(rec) = self.sink.on_mut() {
+            for _ in 0..n {
+                rec.instant(name, now);
+            }
         }
     }
 
@@ -287,7 +339,12 @@ impl Interface {
     /// datagram whose peers go quiet would otherwise pin its buffer
     /// forever; [`Interface::poll`] calls this on every pass.
     pub fn expire_reassembly(&mut self, now: Instant) {
+        let before = self.reassembler.stats().timeouts;
         self.reassembler.expire(now);
+        let expired = self.reassembler.stats().timeouts - before;
+        if expired > 0 {
+            self.obs_instant(|ids| ids.reassembly_timeout, now, expired);
+        }
     }
 
     /// Polls the interface: drains received frames through the stack,
@@ -299,6 +356,7 @@ impl Interface {
             processed += 1;
             if let Err(_e) = self.input_frame(device, &frame, now) {
                 self.stats.parse_errors += 1;
+                self.obs_instant(|ids| ids.parse_error, now, 1);
             }
         }
         self.expire_reassembly(now);
@@ -315,6 +373,7 @@ impl Interface {
         now: Instant,
     ) -> Result<()> {
         self.stats.frames_in += 1;
+        self.obs_instant(|ids| ids.frame_in, now, 1);
         let (eth, off) = EthernetRepr::parse(frame)?;
         if eth.dst != self.mac && !eth.dst.is_broadcast() {
             self.stats.not_for_us += 1;
@@ -365,9 +424,17 @@ impl Interface {
         let assembled;
         let payload: &[u8] = if frag_field & 0x3fff != 0 && frag_field & 0x4000 == 0 {
             self.stats.fragments_in += 1;
-            match self.reassembler.input(&ip, frag_field, payload, now) {
+            self.obs_instant(|ids| ids.fragment_in, now, 1);
+            let evictions_before = self.reassembler.stats().evictions;
+            let result = self.reassembler.input(&ip, frag_field, payload, now);
+            let evicted = self.reassembler.stats().evictions - evictions_before;
+            if evicted > 0 {
+                self.obs_instant(|ids| ids.reassembly_eviction, now, evicted);
+            }
+            match result {
                 Some(whole) => {
                     self.stats.datagrams_reassembled += 1;
+                    self.obs_instant(|ids| ids.datagram_reassembled, now, 1);
                     assembled = whole;
                     &assembled
                 }
@@ -727,5 +794,61 @@ mod tests {
         settle(&mut a, &mut ad, &mut b, &mut bd, 0);
         assert_eq!(b.stats().icmp_echo_replies, 1);
         assert_eq!(b.stats().parse_errors, 1);
+    }
+
+    #[test]
+    fn sink_records_instant_events_matching_counters() {
+        let (mut ad, mut bd) = Channel::pair_with_faults(Some(FaultConfig {
+            drop_every: 0,
+            corrupt_every: 5,
+        }));
+        let mut a = host(1);
+        let mut b = host(2);
+        b.set_sink(obs::Sink::record(true), "b/");
+        b.udp_bind(7000).unwrap();
+        let big = vec![7u8; 4000];
+        let b_ip = b.ip();
+        a.udp_send(&mut ad, 6000, b_ip, 7000, &big);
+        a.ping(&mut ad, b_ip, 1, 1, b"x"); // one corrupted frame en route
+        settle(&mut a, &mut ad, &mut b, &mut bd, 3);
+        let stats = *b.stats();
+        let mut rec = b.take_sink().into_recorder().expect("sink was attached");
+        let count = |rec: &mut obs::Recorder, name: &str| {
+            let id = rec.intern(name);
+            rec.span_accum(id).map(|a| a.spans).unwrap_or(0)
+        };
+        assert_eq!(count(&mut rec, "b/frame_in"), stats.frames_in);
+        assert_eq!(count(&mut rec, "b/fragment_in"), stats.fragments_in);
+        assert_eq!(
+            count(&mut rec, "b/datagram_reassembled"),
+            stats.datagrams_reassembled
+        );
+        assert_eq!(count(&mut rec, "b/parse_error"), stats.parse_errors);
+        assert!(stats.frames_in > 0 && stats.fragments_in > 0);
+        // Events are stamped with the poll clock, in milliseconds.
+        assert!(rec.events().iter().all(|ev| ev.start == 3 && ev.dur == 0));
+    }
+
+    #[test]
+    fn sink_records_reassembly_timeout_instants() {
+        let (mut ad, mut bd) = Channel::pair_with_faults(Some(FaultConfig {
+            drop_every: 4, // lose one mid-datagram fragment
+            corrupt_every: 0,
+        }));
+        let mut a = host(1);
+        let mut b = host(2);
+        b.set_sink(obs::Sink::record(false), "b/");
+        b.udp_bind(7000).unwrap();
+        let b_ip = b.ip();
+        a.udp_send(&mut ad, 6000, b_ip, 7000, &vec![9u8; 4000]);
+        settle(&mut a, &mut ad, &mut b, &mut bd, 0);
+        assert_eq!(b.reassembly_pending(), 1);
+        // Poll far past the reassembly deadline: the half datagram expires.
+        b.poll(&mut bd, 120_000);
+        assert_eq!(b.reassembly_stats().timeouts, 1);
+        let mut rec = b.take_sink().into_recorder().expect("sink was attached");
+        let id = rec.intern("b/reassembly_timeout");
+        let acc = rec.span_accum(id).expect("timeout instants recorded");
+        assert_eq!(acc.spans, 1);
     }
 }

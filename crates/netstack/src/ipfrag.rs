@@ -116,11 +116,24 @@ impl Reassembly {
 }
 
 /// Reassembly statistics.
+///
+/// `timeouts` and `evictions` are distinct failure modes: a timeout
+/// means a datagram's fragments stopped arriving (loss upstream), an
+/// eviction means the reassembly table was full and an older pending
+/// datagram was displaced to admit a new one (buffer pressure). Folding
+/// the two together made the impairments sweep blame expiry for what
+/// was really capacity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReassemblyStats {
     pub fragments_in: u64,
     pub datagrams_completed: u64,
+    /// Pending reassemblies discarded because their deadline passed.
     pub timeouts: u64,
+    /// Pending reassemblies displaced (oldest-first) to admit a new
+    /// datagram while the table was full.
+    pub evictions: u64,
+    /// Fragments or reassemblies discarded for exceeding the per-datagram
+    /// byte cap (hostile or broken senders).
     pub dropped_no_buffer: u64,
 }
 
@@ -175,8 +188,22 @@ impl Reassembler {
             Some(i) => i,
             None => {
                 if self.pending.len() >= MAX_REASSEMBLIES {
-                    self.stats.dropped_no_buffer += 1;
-                    return None;
+                    // Table full: evict the pending reassembly closest to
+                    // its deadline (the oldest) rather than dropping the
+                    // new datagram's fragment — newer traffic is likelier
+                    // to complete than a datagram already waiting on
+                    // missing pieces. Counted as an eviction, not a
+                    // timeout: this is buffer pressure, not expiry.
+                    if let Some(oldest) = self
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, r)| r.deadline)
+                        .map(|(i, _)| i)
+                    {
+                        self.pending.swap_remove(oldest);
+                        self.stats.evictions += 1;
+                    }
                 }
                 self.pending.push(Reassembly {
                     key,
@@ -390,8 +417,10 @@ mod tests {
     }
 
     #[test]
-    fn buffer_exhaustion_drops_fifth_datagram() {
+    fn buffer_exhaustion_evicts_oldest_for_fifth_datagram() {
         let mut re = Reassembler::new();
+        // Datagram `ident` arrives at time `ident` ms, so ident 0 is the
+        // oldest (earliest deadline) when the table fills.
         for ident in 0..=MAX_REASSEMBLIES as u16 {
             let r = Ipv4Repr {
                 ident,
@@ -399,10 +428,36 @@ mod tests {
             };
             let frags = fragment(&r, &payload(2000), 576).unwrap();
             let (pr, field, data) = parse_fragment(&frags[0]).unwrap();
-            re.input(&pr, field, data, 0);
+            re.input(&pr, field, data, u64::from(ident));
         }
         assert_eq!(re.pending(), MAX_REASSEMBLIES);
-        assert_eq!(re.stats().dropped_no_buffer, 1);
+        assert_eq!(re.stats().evictions, 1, "capacity pressure is an eviction");
+        assert_eq!(re.stats().timeouts, 0, "…not a timeout");
+        assert_eq!(re.stats().dropped_no_buffer, 0, "…and not a byte-cap drop");
+        // The evicted datagram was ident 0: completing it is no longer
+        // possible, while the newest (ident 4) still can complete.
+        let newest = Ipv4Repr {
+            ident: MAX_REASSEMBLIES as u16,
+            ..repr(2000)
+        };
+        let frags = fragment(&newest, &payload(2000), 576).unwrap();
+        let mut done = None;
+        for f in &frags[1..] {
+            let (pr, field, data) = parse_fragment(f).unwrap();
+            done = re.input(&pr, field, data, 10);
+        }
+        assert!(done.is_some(), "the newly admitted datagram completes");
+    }
+
+    #[test]
+    fn eviction_and_timeout_counters_stay_separate() {
+        let mut re = Reassembler::new();
+        let frags = fragment(&repr(3000), &payload(3000), 576).unwrap();
+        let (pr, field, data) = parse_fragment(&frags[0]).unwrap();
+        re.input(&pr, field, data, 0);
+        re.expire(REASSEMBLY_TIMEOUT_MS + 1);
+        assert_eq!(re.stats().timeouts, 1);
+        assert_eq!(re.stats().evictions, 0, "expiry must not count as eviction");
     }
 
     #[test]

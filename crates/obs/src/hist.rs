@@ -1,0 +1,235 @@
+//! Fixed-bucket deterministic histogram.
+//!
+//! Buckets are powers of two: bucket 0 holds the value `0`, bucket
+//! `i >= 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
+//! absorbs everything above the top boundary. Bucketing is pure integer
+//! arithmetic (`leading_zeros`), so recording and merging are exact,
+//! order-independent, and float-free — merging per-seed histograms in
+//! seed order yields byte-identical results for any worker count.
+
+/// Number of power-of-two buckets. Covers `0 ..= 2^30` exactly with an
+/// overflow bucket above — wide enough for per-batch cycle costs and
+/// per-message microsecond latencies alike.
+pub const BUCKETS: usize = 32;
+
+/// An integer-only histogram with fixed power-of-two buckets plus
+/// exact count / sum / min / max side counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: `0` for zero, otherwise the number of
+    /// significant bits, clamped into the top (overflow) bucket.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Smallest value that lands in bucket `i` (the bucket's lower
+    /// boundary); used when reporting quantile floors.
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1).min(62)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if let Some(c) = self.counts.get_mut(Self::bucket_of(v)) {
+            *c += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram in. Exact: the result equals recording
+    /// both value streams into one histogram, in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value; `0` when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value; `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean as a float (safe: one division on exact integers,
+    /// not a parallel reduction).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Lower boundary of the bucket containing the `num/den` quantile
+    /// (e.g. `quantile_floor(99, 100)` ≈ p99). Integer-only: rank is
+    /// `ceil(count * num / den)`, clamped to `[1, count]`. Returns `0`
+    /// when empty. A bucket floor, not an interpolated value — this is
+    /// a breakdown aid, not a replacement for `SimReport` percentiles.
+    pub fn quantile_floor(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 || den == 0 {
+            return 0;
+        }
+        let rank = self
+            .count
+            .saturating_mul(num)
+            .div_ceil(den)
+            .clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i).max(self.min());
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        // Every bucket's floor maps back into that bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_floor(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_side_counters() {
+        let mut h = Histogram::new();
+        for v in [5u64, 0, 17, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 34);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 17);
+        assert!((h.mean() - 6.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_floor(99, 100), 0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream_any_order() {
+        let values_a = [1u64, 100, 7, 0, 65_000];
+        let values_b = [2u64, 2, 900, 31];
+        let mut joint = Histogram::new();
+        for v in values_a.iter().chain(values_b.iter()) {
+            joint.record(*v);
+        }
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for v in values_a {
+            a.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, joint);
+        assert_eq!(ba, joint);
+    }
+
+    #[test]
+    fn quantile_floor_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let mut last = 0;
+        for q in [1u64, 10, 25, 50, 75, 90, 99, 100] {
+            let f = h.quantile_floor(q, 100);
+            assert!(f >= last, "quantile floors must be monotone in q");
+            assert!(f >= h.min() && f <= h.max());
+            last = f;
+        }
+        assert_eq!(h.quantile_floor(100, 100), h.quantile_floor(1000, 1000));
+    }
+}

@@ -1,0 +1,41 @@
+//! # obs — deterministic observability for the LDLP apparatus
+//!
+//! The paper's argument is an *attribution* argument: which layer burns
+//! which cache misses and cycles per message (Table 1, Figs 5–7). The
+//! simulation crates report run-level aggregates; this crate records the
+//! per-layer, per-batch timeline that explains them.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Every timestamp is simulated time — machine
+//!    cycles from `cachesim::Machine`, or the netstack's simulated
+//!    millisecond clock. No `Instant`, no `SystemTime` (enforced by
+//!    `crates/analyze` R1: this crate is in `SIM_CRATES`). Histograms
+//!    use fixed power-of-two buckets and integer arithmetic only, so
+//!    merging recorders is order-independent in value and is still done
+//!    in seed order by convention (the `float-reduction` rule's spirit).
+//! 2. **Zero overhead when off.** The sink handed to instrumented code
+//!    is [`Sink`], whose disabled state is the unit variant
+//!    [`Sink::Off`]: every probe compiles to one predictable branch and
+//!    no allocation (`crates/core/tests/alloc.rs` asserts this).
+//! 3. **Alloc-free when metering.** With spans disabled
+//!    (`Sink::record(false)`), a [`Recorder`] only folds events into
+//!    preallocated per-name accumulators and fixed-size histograms, so
+//!    steady-state metering stays off the allocator too. Only span
+//!    *collection* (`Sink::record(true)`, used by `--trace`) grows a
+//!    `Vec` of events.
+//!
+//! Exporters:
+//! - [`trace::chrome_trace_json`] — Chrome trace-event JSON, loadable
+//!   in `chrome://tracing` / `ui.perfetto.dev` (`--trace`).
+//! - [`metrics::metrics_json`] — per-run `metrics.json` with per-layer
+//!   span totals and histogram breakdowns (`--metrics`).
+
+pub mod hist;
+pub mod metrics;
+pub mod record;
+pub mod trace;
+
+pub use hist::{Histogram, BUCKETS};
+pub use record::{NameId, Recorder, Sink, SpanAccum, SpanEvent};
+pub use trace::TracePart;

@@ -1,0 +1,139 @@
+//! `metrics.json` exporter.
+//!
+//! Serialises a (merged) [`Recorder`] as a deterministic JSON document:
+//! caller-supplied meta pairs, then per-name span totals with duration
+//! and miss histograms, then named value histograms. Everything is
+//! derived from exact integers (the only floats are per-entry means,
+//! each a single division of two exact integers), so the bytes are
+//! identical for any `--threads` value as long as per-seed recorders
+//! were merged in seed order — which `Recorder::merge` callers do.
+//!
+//! Hand-rolled JSON (the workspace has no serde), same as
+//! `analyze::report_json`.
+
+use crate::hist::Histogram;
+use crate::record::Recorder;
+use crate::trace::esc;
+use std::fmt::Write as _;
+
+fn hist_json(h: &Histogram) -> String {
+    // Trim trailing zero buckets so the file stays readable; the trim
+    // point is a pure function of the counts, hence deterministic.
+    let counts = h.counts();
+    let last = counts.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    let buckets: Vec<String> = counts
+        .iter()
+        .take(last)
+        .map(|c| c.to_string())
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\
+         \"p50_floor\":{},\"p99_floor\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        h.mean(),
+        h.quantile_floor(50, 100),
+        h.quantile_floor(99, 100),
+        buckets.join(",")
+    )
+}
+
+/// Renders the metrics document. `meta` pairs are emitted first, in
+/// order, as string values. Span entries and value histograms follow
+/// in id (first-intern) order; empty entries are skipped.
+pub fn metrics_json(meta: &[(&str, String)], rec: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        let comma = if i + 1 == meta.len() { "" } else { "," };
+        let _ = write!(out, " \"{}\": \"{}\"{}", esc(k), esc(v), comma);
+    }
+    out.push_str(" },\n  \"spans\": [\n");
+    let spans: Vec<String> = rec
+        .iter_spans()
+        .filter(|(_, acc)| !acc.is_empty())
+        .map(|(name, acc)| {
+            format!(
+                "    {{ \"name\": \"{}\", \"spans\": {}, \"messages\": {}, \"cycles\": {}, \
+                 \"imisses\": {}, \"dmisses\": {},\n      \"dur\": {},\n      \"imiss\": {},\n      \
+                 \"dmiss\": {} }}",
+                esc(name),
+                acc.spans,
+                acc.messages,
+                acc.cycles,
+                acc.imisses,
+                acc.dmisses,
+                hist_json(&acc.dur_hist),
+                hist_json(&acc.imiss_hist),
+                hist_json(&acc.dmiss_hist)
+            )
+        })
+        .collect();
+    out.push_str(&spans.join(",\n"));
+    out.push_str("\n  ],\n  \"values\": [\n");
+    let values: Vec<String> = rec
+        .iter_values()
+        .filter(|(_, h)| !h.is_empty())
+        .map(|(name, h)| format!("    {{ \"name\": \"{}\", \"hist\": {} }}", esc(name), hist_json(h)))
+        .collect();
+    out.push_str(&values.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Recorder, SpanEvent};
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new(false);
+        let ip = r.intern("rx:ip");
+        let lat = r.intern("latency_us");
+        r.span(SpanEvent {
+            name: ip,
+            start: 0,
+            dur: 40,
+            batch: 4,
+            aux: 0,
+            imisses: 2,
+            dmisses: 3,
+        });
+        r.record_value(lat, 17);
+        r.record_value(lat, 9);
+        r
+    }
+
+    #[test]
+    fn metrics_json_has_meta_spans_and_values() {
+        let r = sample();
+        let j = metrics_json(
+            &[("bin", "figure6".to_string()), ("seeds", "2".to_string())],
+            &r,
+        );
+        assert!(j.contains("\"bin\": \"figure6\""));
+        assert!(j.contains("\"seeds\": \"2\""));
+        assert!(j.contains("\"name\": \"rx:ip\""));
+        assert!(j.contains("\"messages\": 4"));
+        assert!(j.contains("\"name\": \"latency_us\""));
+        assert!(j.contains("\"sum\":26"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn empty_entries_are_skipped() {
+        let mut r = sample();
+        r.intern("never_used");
+        let j = metrics_json(&[], &r);
+        assert!(!j.contains("never_used"));
+    }
+
+    #[test]
+    fn output_is_reproducible() {
+        let a = metrics_json(&[("k", "v".into())], &sample());
+        let b = metrics_json(&[("k", "v".into())], &sample());
+        assert_eq!(a, b);
+    }
+}

@@ -111,6 +111,20 @@ fn run_core(
     let cycles_per_s = clock_mhz * 1e6;
     let mut pool = MessagePool::new(cfg.pool_bufs, cfg.pool_buf_bytes, cfg.pool_seed);
 
+    // Observability: when the engine carries a sink, the simulator
+    // contributes one span per processed batch (stamped in machine
+    // cycles, queue depth in `aux`) and run-level value histograms that
+    // augment the SimReport aggregates with full distributions.
+    let obs_ids = match (
+        engine.obs_intern("batch"),
+        engine.obs_intern("latency_us"),
+        engine.obs_intern("imiss_per_msg"),
+        engine.obs_intern("dmiss_per_msg"),
+    ) {
+        (Some(b), Some(l), Some(i), Some(d)) => Some((b, l, i, d)),
+        _ => None,
+    };
+
     // NIC buffer: (arrival_cycle, bytes, corrupted) in arrival order.
     let mut nic: std::collections::VecDeque<(u64, u32, bool)> =
         std::collections::VecDeque::with_capacity(cfg.buffer_cap);
@@ -199,8 +213,24 @@ fn run_core(
 
         // Process: the machine's counter advances by the batch cost.
         let machine_before = engine.machine().cycles();
+        let stats_before = obs_ids.map(|_| engine.machine().stats());
         engine.process_batch_into(&batch, &mut completions);
         let machine_after = engine.machine().cycles();
+        if let (Some((batch_id, _, _, _)), Some(s0)) = (obs_ids, stats_before) {
+            let s1 = engine.machine().stats();
+            let (batch_len, queue_after) = (batch.len() as u32, nic.len() as u64);
+            if let Some(rec) = engine.sink_mut().on_mut() {
+                rec.span(obs::SpanEvent {
+                    name: batch_id,
+                    start: machine_before,
+                    dur: machine_after - machine_before,
+                    batch: batch_len,
+                    aux: queue_after,
+                    imisses: s1.icache.misses - s0.icache.misses,
+                    dmisses: s1.dcache.misses - s0.dcache.misses,
+                });
+            }
+        }
         // Batch runs in sim time [now, now + cost).
         let offset = now - machine_before;
         for (c, &arr) in completions.iter().zip(&batch_arrivals) {
@@ -215,6 +245,18 @@ fn run_core(
             } else {
                 let lat_cycles = finish.saturating_sub(arr);
                 latencies_us.push(lat_cycles as f64 / clock_mhz);
+            }
+        }
+        if let Some((_, lat_id, im_id, dm_id)) = obs_ids {
+            if let Some(rec) = engine.sink_mut().on_mut() {
+                for (c, &arr) in completions.iter().zip(&batch_arrivals) {
+                    rec.record_value(im_id, c.imisses);
+                    rec.record_value(dm_id, c.dmisses);
+                    if !c.rejected {
+                        let lat_cycles = (c.done_cycles + offset).saturating_sub(arr);
+                        rec.record_value(lat_id, (lat_cycles as f64 / clock_mhz) as u64);
+                    }
+                }
             }
         }
         now += machine_after - machine_before;
@@ -368,6 +410,71 @@ mod tests {
         };
         let r = run_sim(&mut e, &arrivals, &cfg);
         assert!(r.mean_batch <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn sim_records_batch_spans_and_value_histograms() {
+        let arrivals = PoissonSource::new(4000.0, 552, 5).take_until(0.1);
+        let cfg = SimConfig {
+            duration_s: 0.1,
+            ..SimConfig::default()
+        };
+        let mut e = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 1);
+        e.set_sink(obs::Sink::record(true), "ldlp/");
+        let r = run_sim(&mut e, &arrivals, &cfg);
+        let mut rec = e.take_sink().into_recorder().expect("sink was attached");
+
+        // One span per batch, carrying the batch size.
+        let batch_id = rec.intern("ldlp/batch");
+        let lat_id = rec.intern("ldlp/latency_us");
+        let im_id = rec.intern("ldlp/imiss_per_msg");
+        let spans = rec.span_accum(batch_id).expect("batch spans recorded");
+        assert!(spans.spans > 0);
+        assert_eq!(
+            spans.messages,
+            r.completed + r.rejected,
+            "batch sizes sum to the processed message count"
+        );
+        assert!(
+            (spans.spans as f64 * r.mean_batch - spans.messages as f64).abs() < 1e-6,
+            "span count agrees with the report's mean batch size"
+        );
+
+        // Value histograms mirror the report's aggregates.
+        let lat = rec.value_hist(lat_id).expect("latency histogram recorded");
+        assert_eq!(lat.count(), r.completed);
+        let mean = lat.mean();
+        assert!(
+            (mean - r.mean_latency_us).abs() <= r.mean_latency_us * 0.05 + 1.0,
+            "histogram mean {mean} vs report {}",
+            r.mean_latency_us
+        );
+        let im = rec.value_hist(im_id).expect("imiss histogram recorded");
+        assert_eq!(im.count(), r.completed + r.rejected);
+
+        // Trace mode also kept the raw per-layer + per-batch events.
+        assert!(
+            rec.events().len() as u64 > spans.spans,
+            "expected layer spans in addition to batch spans"
+        );
+    }
+
+    #[test]
+    fn sink_off_report_is_identical() {
+        let arrivals = PoissonSource::new(4000.0, 552, 5).take_until(0.1);
+        let cfg = SimConfig {
+            duration_s: 0.1,
+            ..SimConfig::default()
+        };
+        let mut plain = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 1);
+        let r0 = run_sim(&mut plain, &arrivals, &cfg);
+        let mut observed = engine(Discipline::Ldlp(BatchPolicy::DCacheFit), 1);
+        observed.set_sink(obs::Sink::record(false), "ldlp/");
+        let r1 = run_sim(&mut observed, &arrivals, &cfg);
+        assert_eq!(r0.completed, r1.completed);
+        assert_eq!(r0.mean_batch.to_bits(), r1.mean_batch.to_bits());
+        assert_eq!(r0.mean_latency_us.to_bits(), r1.mean_latency_us.to_bits());
+        assert_eq!(r0.mean_imiss.to_bits(), r1.mean_imiss.to_bits());
     }
 
     #[test]

@@ -165,17 +165,29 @@ impl SimReport {
     /// each run equally as the paper does. Counter fields become rounded
     /// per-run means, so conservation is checked per run, not on the
     /// average.
-    pub fn average(reports: &[SimReport]) -> SimReport {
-        let n = reports.len().max(1) as f64;
+    ///
+    /// Returns `None` for an empty slice: an all-zero report would
+    /// vacuously pass [`SimReport::conservation_holds`] and read as "a
+    /// run that offered nothing and lost nothing", silently masking a
+    /// caller bug (e.g. a sweep configured with zero seeds).
+    pub fn average(reports: &[SimReport]) -> Option<SimReport> {
+        if reports.is_empty() {
+            return None;
+        }
+        let n = reports.len() as f64;
         let sum = |f: fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        // Counters are *rounded* per-run means; plain `as u64` truncation
+        // biased every averaged counter low by up to one unit (e.g. 3
+        // runs completing 100, 100, 101 messages averaged to 100, not
+        // 100.33 → 100… but 1, 2, 2 averaged to 1 instead of 2).
         let sum_u = |f: fn(&SimReport) -> u64| {
-            (reports.iter().map(f).sum::<u64>() as f64 / n) as u64
+            (reports.iter().map(f).sum::<u64>() as f64 / n).round() as u64
         };
         let std = |f: fn(&SimReport) -> f64| {
             let mean = reports.iter().map(f).sum::<f64>() / n;
             (reports.iter().map(|r| (f(r) - mean).powi(2)).sum::<f64>() / n).sqrt()
         };
-        SimReport {
+        Some(SimReport {
             completed: sum_u(|r| r.completed),
             rejected: sum_u(|r| r.rejected),
             drops: sum_u(|r| r.drops),
@@ -199,7 +211,7 @@ impl SimReport {
             mean_batch: sum(|r| r.mean_batch),
             latency_std_us: std(|r| r.mean_latency_us),
             imiss_std: std(|r| r.mean_imiss),
-        }
+        })
     }
 }
 
@@ -441,11 +453,33 @@ mod tests {
             goodput: 150.0,
             ..SimReport::default()
         };
-        let avg = SimReport::average(&[a, b]);
+        let avg = SimReport::average(&[a, b]).expect("non-empty");
         assert_eq!(avg.mean_latency_us, 20.0);
         assert_eq!(avg.completed, 150);
         assert_eq!(avg.goodput, 100.0);
         assert_eq!(avg.latency_std_us, 10.0, "population std of 10 and 30");
+    }
+
+    #[test]
+    fn averaging_counters_rounds_instead_of_truncating() {
+        // Three runs completing 1, 2, 2: the mean is 5/3 ≈ 1.67, which
+        // truncation used to report as 1.
+        let reports: Vec<SimReport> = [1u64, 2, 2]
+            .iter()
+            .map(|&completed| SimReport {
+                completed,
+                ..SimReport::default()
+            })
+            .collect();
+        let avg = SimReport::average(&reports).expect("non-empty");
+        assert_eq!(avg.completed, 2, "5/3 rounds to 2, not down to 1");
+    }
+
+    #[test]
+    fn averaging_no_reports_is_explicit_not_all_zero() {
+        // The old all-zero report passed conservation_holds() and hid
+        // zero-seed configuration bugs.
+        assert!(SimReport::average(&[]).is_none());
     }
 
     fn count_series(arrivals: &[crate::traffic::Arrival], bin_s: f64, duration: f64) -> Vec<f64> {

@@ -149,6 +149,24 @@ pub mod strategy {
     }
     impl_range_strategy!(u8, u16, u32, u64, usize);
 
+    // f64 ranges: scale one uniform u64 draw into the interval. Half-open
+    // ranges never yield `end`; inclusive ranges may yield either bound.
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            let unit = (rng.random::<u64>() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + (self.end - self.start) * unit
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            let unit = (rng.random::<u64>() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            self.start() + (self.end() - self.start()) * unit
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($s:ident . $idx:tt),+) => {
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -379,6 +397,12 @@ mod tests {
         #[test]
         fn mapped_values(v in (0u8..10).prop_map(|x| x * 2)) {
             prop_assert!(v % 2 == 0 && v < 20);
+        }
+
+        #[test]
+        fn float_ranges_respect_bounds(x in 0.25f64..0.75, q in 0.0f64..=1.0) {
+            prop_assert!((0.25..0.75).contains(&x), "x = {x}");
+            prop_assert!((0.0..=1.0).contains(&q), "q = {q}");
         }
 
         #[test]
