@@ -22,7 +22,7 @@ use crate::source::{FileRole, SourceFile};
 /// Files providing the blessed seed-order reduction helpers.
 const BLESSED: &[&str] = &["crates/simnet/src/stats.rs"];
 
-const SCOPE_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "bench"];
+const SCOPE_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "bench", "smp"];
 
 const REDUCTIONS: &[&str] = &["sum::<f64>", ".fold("];
 

@@ -22,7 +22,7 @@ use super::{RawFinding, RULE_NONDETERMINISM};
 use crate::source::{contains_word, FileRole, SourceFile};
 
 /// The crates whose outputs must replay byte-identically.
-pub const SIM_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "obs"];
+pub const SIM_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "obs", "smp"];
 
 /// Substring hazards (qualified paths and calls).
 const PATH_PATTERNS: &[(&str, &str)] = &[

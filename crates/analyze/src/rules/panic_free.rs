@@ -19,7 +19,7 @@ use super::{RawFinding, RULE_PANIC_FREE};
 use crate::source::{FileRole, SourceFile};
 
 /// Crates held to the panic-free standard.
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "simnet", "cachesim", "obs"];
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "simnet", "cachesim", "obs", "smp"];
 
 const CALLS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
 

@@ -25,6 +25,7 @@ fn main() {
         "figure6",
         "figure7",
         "figure8",
+        "figure9",
         "figure4_regimes",
         "signaling_goal",
         "trace_replay",

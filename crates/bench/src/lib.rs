@@ -1249,6 +1249,333 @@ pub mod impairments {
     }
 }
 
+pub mod figure9 {
+    //! Figure 9: multi-core protocol processing — arrival rate × core
+    //! count × dispatch policy, Conventional vs. LDLP.
+    //!
+    //! Each cell runs `crates/smp`'s deterministic N-core simulator:
+    //! per-core split L1 caches over a shared coherent L2, RSS-style
+    //! flow hashing / first-seen round-robin / LDLP-aware layer
+    //! affinity (software pipelining with bounded hand-off queues).
+    //! The sweep fans independent (cell, variant, seed) jobs across
+    //! worker threads and reduces in deterministic index order, so the
+    //! CSV is byte-identical for any `--threads` value.
+
+    use crate::{f, RunOpts};
+    use ldlp::{BatchPolicy, Discipline};
+    use simnet::impair::ImpairCounters;
+    use simnet::par::run_indexed;
+    use simnet::stats::SimReport;
+    use simnet::traffic::{PoissonSource, TrafficSource};
+    use smp::{tag_flows, DispatchPolicy, SmpConfig, SmpSim};
+
+    /// Paper workload: 552-byte signalling-sized messages.
+    pub const MSG_BYTES: u32 = 552;
+
+    /// Synthetic flow population per run — enough concurrent flows that
+    /// hashing can spread load over eight cores.
+    pub const FLOWS: u32 = 64;
+
+    /// One (discipline, dispatch) curve in the sweep.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Variant {
+        /// Discipline label used in the CSV (`conv` / `ldlp`).
+        pub discipline_label: &'static str,
+        pub discipline: Discipline,
+        /// Dispatch label used in the CSV (`hash` / `rr` / `aff`).
+        pub dispatch_label: &'static str,
+        pub dispatch: DispatchPolicy,
+    }
+
+    /// The six swept curves: {Conventional, LDLP} × {hash, rr, aff}.
+    pub fn variants() -> [Variant; 6] {
+        let disciplines = [
+            ("conv", Discipline::Conventional),
+            ("ldlp", Discipline::Ldlp(BatchPolicy::DCacheFit)),
+        ];
+        let dispatches = [
+            ("hash", DispatchPolicy::FlowHash),
+            ("rr", DispatchPolicy::RoundRobin),
+            ("aff", DispatchPolicy::LayerAffinity),
+        ];
+        let mut out = [Variant {
+            discipline_label: "",
+            discipline: Discipline::Conventional,
+            dispatch_label: "",
+            dispatch: DispatchPolicy::FlowHash,
+        }; 6];
+        let mut i = 0;
+        for (dl, d) in disciplines {
+            for (pl, p) in dispatches {
+                out[i] = Variant {
+                    discipline_label: dl,
+                    discipline: d,
+                    dispatch_label: pl,
+                    dispatch: p,
+                };
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Core counts swept (smoke keeps the 1-vs-4 contrast only).
+    pub fn core_counts(smoke: bool) -> &'static [usize] {
+        if smoke {
+            &[1, 4]
+        } else {
+            &[1, 2, 4, 8]
+        }
+    }
+
+    /// Arrival rates swept (msg/s). The full grid spans light load
+    /// through single-core saturation up past the affinity pipeline's
+    /// bottleneck-stage capacity, so the round-robin/affinity crossover
+    /// at high core counts is visible.
+    pub fn rates(smoke: bool) -> &'static [f64] {
+        if smoke {
+            &[4000.0, 20000.0]
+        } else {
+            &[2000.0, 6000.0, 12000.0, 20000.0, 28000.0, 36000.0]
+        }
+    }
+
+    /// One variant's seed-averaged measurements at a grid cell.
+    #[derive(Debug, Clone)]
+    pub struct VariantPoint {
+        pub discipline: &'static str,
+        pub dispatch: &'static str,
+        pub report: SimReport,
+        /// Mean dirty-line transfers between cores in the shared L2.
+        pub l2_transfers: f64,
+        /// Mean cross-core invalidations on shared-table writes.
+        pub l2_invalidations: f64,
+        /// Mean cycles stalled on L2/coherence traffic.
+        pub l2_stall_cycles: f64,
+        /// Mean messages crossing an inter-core hand-off queue.
+        pub handoff_msgs: f64,
+    }
+
+    /// One (rate, cores) grid cell: all six variants.
+    #[derive(Debug, Clone)]
+    pub struct Figure9Point {
+        pub rate: f64,
+        pub cores: usize,
+        pub variants: Vec<VariantPoint>,
+    }
+
+    type Job = (SimReport, [f64; 4], Option<Box<obs::Recorder>>);
+
+    fn run_cell(
+        rate: f64,
+        cores: usize,
+        variant: &Variant,
+        seed: u64,
+        duration_s: f64,
+        observe: bool,
+    ) -> Job {
+        let raw = PoissonSource::new(rate, MSG_BYTES, seed).take_until(duration_s);
+        let arrivals = tag_flows(&raw, FLOWS, seed);
+        let cfg = SmpConfig {
+            duration_s,
+            placement_seed: seed,
+            ..SmpConfig::new(cores, variant.dispatch, variant.discipline)
+        };
+        let mut sim = SmpSim::new(&cfg);
+        if observe {
+            sim.set_sinks(false);
+        }
+        sim.run(&arrivals);
+        let out = sim.outcome(ImpairCounters::default());
+        crate::perf::note_replay(&out.replay);
+        let rec = if observe {
+            let mut merged: Option<Box<obs::Recorder>> = None;
+            for (_, rec) in sim.take_recorders() {
+                match merged.as_mut() {
+                    None => merged = Some(rec),
+                    Some(m) => m.merge(&rec),
+                }
+            }
+            merged
+        } else {
+            None
+        };
+        (
+            out.report,
+            [
+                out.coherence.transfers as f64,
+                out.coherence.invalidations as f64,
+                out.coherence.stall_cycles as f64,
+                out.handoff_msgs as f64,
+            ],
+            rec,
+        )
+    }
+
+    /// The full sweep: every (rate, cores) cell × six variants ×
+    /// `opts.seeds` placements, averaged per variant in seed order.
+    pub fn sweep(opts: &RunOpts) -> Vec<Figure9Point> {
+        sweep_observed(opts, false).0
+    }
+
+    /// [`sweep`] with optional metrics recording; per-core recorders
+    /// are folded per job (core order) then across jobs (index order),
+    /// so the merged document is thread-count invariant.
+    pub fn sweep_observed(
+        opts: &RunOpts,
+        observe: bool,
+    ) -> (Vec<Figure9Point>, Option<Box<obs::Recorder>>) {
+        let rates = rates(opts.smoke);
+        let core_counts = core_counts(opts.smoke);
+        let vars = variants();
+        let nv = vars.len();
+        let seeds = opts.seeds as usize;
+        let mut cells: Vec<(f64, usize)> = Vec::new();
+        for &rate in rates {
+            for &cores in core_counts {
+                cells.push((rate, cores));
+            }
+        }
+        let mut runs: Vec<Job> = run_indexed(
+            cells.len() * nv * seeds,
+            opts.effective_threads(),
+            |i| {
+                let (rate, cores) = cells[i / (nv * seeds)];
+                let variant = &vars[(i / seeds) % nv];
+                let seed = (i % seeds) as u64 + 1;
+                run_cell(rate, cores, variant, seed, opts.duration_s, observe)
+            },
+        );
+
+        let mut points = Vec::new();
+        for (ci, &(rate, cores)) in cells.iter().enumerate() {
+            let mut per_variant = Vec::new();
+            for (vi, v) in vars.iter().enumerate() {
+                let chunk = &runs[ci * nv * seeds + vi * seeds..ci * nv * seeds + (vi + 1) * seeds];
+                let reports: Vec<SimReport> = chunk.iter().map(|job| job.0.clone()).collect();
+                let report = SimReport::average(&reports).expect("at least one seed");
+                let mut acc = [0.0f64; 4];
+                for job in chunk {
+                    for (a, x) in acc.iter_mut().zip(job.1) {
+                        *a += x;
+                    }
+                }
+                for a in &mut acc {
+                    *a /= seeds as f64;
+                }
+                per_variant.push(VariantPoint {
+                    discipline: v.discipline_label,
+                    dispatch: v.dispatch_label,
+                    report,
+                    l2_transfers: acc[0],
+                    l2_invalidations: acc[1],
+                    l2_stall_cycles: acc[2],
+                    handoff_msgs: acc[3],
+                });
+            }
+            points.push(Figure9Point {
+                rate,
+                cores,
+                variants: per_variant,
+            });
+        }
+        let mut merged: Option<Box<obs::Recorder>> = None;
+        for job in &mut runs {
+            if let Some(rec) = job.2.take() {
+                match merged.as_mut() {
+                    None => merged = Some(rec),
+                    Some(m) => m.merge(&rec),
+                }
+            }
+        }
+        (points, merged)
+    }
+
+    /// Span-traced runs at one representative cell, for `trace.json`:
+    /// each (discipline, dispatch) variant contributes one track per
+    /// core, named `<disc>-<disp>/core<i>`.
+    pub fn traced_runs(
+        opts: &RunOpts,
+        rate: f64,
+        cores: usize,
+    ) -> Vec<(String, Box<obs::Recorder>)> {
+        let seed = 1u64;
+        let raw = PoissonSource::new(rate, MSG_BYTES, seed).take_until(opts.duration_s);
+        let arrivals = tag_flows(&raw, FLOWS, seed);
+        let mut out = Vec::new();
+        for v in variants() {
+            let cfg = SmpConfig {
+                duration_s: opts.duration_s,
+                placement_seed: seed,
+                ..SmpConfig::new(cores, v.dispatch, v.discipline)
+            };
+            let mut sim = SmpSim::new(&cfg);
+            sim.set_sinks(true);
+            sim.run(&arrivals);
+            let outcome = sim.outcome(ImpairCounters::default());
+            crate::perf::note_replay(&outcome.replay);
+            for (name, rec) in sim.take_recorders() {
+                out.push((
+                    format!("{}-{}/{}", v.discipline_label, v.dispatch_label, name),
+                    rec,
+                ));
+            }
+        }
+        out
+    }
+
+    /// CSV schema: one row per (rate, cores, discipline, dispatch).
+    pub const FIGURE9_HEADER: [&str; 17] = [
+        "rate",
+        "cores",
+        "discipline",
+        "dispatch",
+        "imiss_per_msg",
+        "dmiss_per_msg",
+        "mean_latency_us",
+        "p99_latency_us",
+        "throughput",
+        "goodput",
+        "drops",
+        "shed",
+        "mean_batch",
+        "l2_transfers",
+        "l2_invalidations",
+        "l2_stall_cycles",
+        "handoff_msgs",
+    ];
+
+    /// Rows for [`FIGURE9_HEADER`], shared between the `figure9` binary
+    /// and the thread-count determinism regression test.
+    pub fn figure9_rows(points: &[Figure9Point]) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        for p in points {
+            for v in &p.variants {
+                rows.push(vec![
+                    f(p.rate, 0),
+                    p.cores.to_string(),
+                    v.discipline.to_string(),
+                    v.dispatch.to_string(),
+                    f(v.report.mean_imiss, 2),
+                    f(v.report.mean_dmiss, 2),
+                    f(v.report.mean_latency_us, 1),
+                    f(v.report.p99_latency_us, 1),
+                    f(v.report.throughput, 0),
+                    f(v.report.goodput, 0),
+                    v.report.drops.to_string(),
+                    v.report.shed.to_string(),
+                    f(v.report.mean_batch, 3),
+                    f(v.l2_transfers, 1),
+                    f(v.l2_invalidations, 1),
+                    f(v.l2_stall_cycles, 0),
+                    f(v.handoff_msgs, 1),
+                ]);
+            }
+        }
+        rows
+    }
+}
+
 pub mod figures {
     //! CSV row construction for the simulation figures, shared between
     //! the binaries and the determinism regression tests (which assert

@@ -79,6 +79,32 @@ fn seed_average_is_thread_count_invariant() {
 }
 
 #[test]
+fn figure9_csv_is_thread_count_invariant() {
+    use bench::figure9::{figure9_rows, sweep, FIGURE9_HEADER};
+
+    // The smoke grid (2 rates × {1, 4} cores × 6 variants) exercises
+    // flow hashing, round-robin, and the layer-affinity pipeline with
+    // cross-core hand-offs — the cases where worker scheduling could
+    // leak into results if the multi-core event loop were not
+    // deterministic.
+    let run = |threads| {
+        let opts = RunOpts {
+            smoke: true,
+            ..reduced_opts(threads)
+        };
+        csv_text(&FIGURE9_HEADER, &figure9_rows(&sweep(&opts)))
+    };
+    let serial = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(serial, two, "figure9 CSV differs between 1 and 2 threads");
+    assert_eq!(serial, eight, "figure9 CSV differs between 1 and 8 threads");
+    // Sanity: every (cell, variant) row is present and carries data.
+    assert_eq!(serial.lines().count(), 2 * 2 * 6 + 1);
+    assert!(serial.contains(",aff,"), "layer-affinity rows present");
+}
+
+#[test]
 fn metrics_json_is_thread_count_invariant() {
     use bench::sweep::poisson_sweep_observed;
 

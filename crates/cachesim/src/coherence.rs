@@ -1,0 +1,294 @@
+//! Shared second-level cache with a MESI-lite coherence cost model.
+//!
+//! The single-core experiments fold the whole miss path into one fixed
+//! penalty (the paper's model). A multi-core simulation needs one more
+//! level: per-core private L1s composed over a *shared, inclusive* L2
+//! plus a coherence cost for mutable state that several cores touch —
+//! the reassembly table, the signaling call table, and the descriptor
+//! rings of inter-core hand-off queues.
+//!
+//! [`SharedL2`] deliberately does **not** own the per-core
+//! [`Machine`](crate::Machine)s. Each core keeps a private, replay-
+//! eligible machine (split L1s, no built-in L2) and the fabric is
+//! layered on top: shared regions are accessed *only* through
+//! [`SharedL2::read`]/[`SharedL2::write`], which simulate the L2 tag
+//! array, track the last writing core per line, and charge the stall
+//! cycles back to the accessing core via [`Machine::stall`]. Private
+//! code and data keep going through the core's own caches with the
+//! single-penalty miss path, so the existing footprint-replay memoizer
+//! keeps working unchanged per core.
+//!
+//! The coherence model is the classic first-order cost accounting:
+//! * a **read** of a line last written by another core pays a
+//!   cache-to-cache `transfer` on top of the L2 lookup (the dirty line
+//!   is forwarded by its owner);
+//! * a **write** to a line previously written by another core pays an
+//!   `invalidation` (the other copies are killed before this core gains
+//!   exclusive ownership).
+//!
+//! Everything is deterministic: fixed costs, no timing races — the
+//! event loop that drives the cores decides the access order.
+
+use crate::cache::{AccessKind, Cache, CacheConfig};
+use crate::machine::{CycleCount, Machine};
+use crate::Region;
+use std::collections::BTreeMap;
+
+/// Geometry and fixed costs of the shared level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedL2Config {
+    /// Tag geometry of the shared cache.
+    pub l2: CacheConfig,
+    /// Cycles for an L1-bypassing access that hits the L2.
+    pub hit_cycles: CycleCount,
+    /// Cycles for an access that misses the L2 (memory fill).
+    pub miss_cycles: CycleCount,
+    /// Extra cycles when a read hits a line last written by another core
+    /// (dirty cache-to-cache transfer).
+    pub transfer_cycles: CycleCount,
+    /// Extra cycles when a write must invalidate another core's copy.
+    pub invalidate_cycles: CycleCount,
+}
+
+impl SharedL2Config {
+    /// The default fabric used by the SMP experiments: 256 KB 4-way
+    /// shared L2 with 32-byte lines; 20-cycle L2 hit (same order as the
+    /// paper's primary-miss penalty), 100-cycle memory fill, 40-cycle
+    /// dirty transfer, 20-cycle invalidation.
+    pub fn smp_default() -> Self {
+        SharedL2Config {
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                line_size: 32,
+                associativity: 4,
+            },
+            hit_cycles: 20,
+            miss_cycles: 100,
+            transfer_cycles: 40,
+            invalidate_cycles: 20,
+        }
+    }
+}
+
+/// Counters for the shared level, accumulated since construction or the
+/// last [`SharedL2::reset_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Read accesses (region granularity).
+    pub reads: u64,
+    /// Write accesses (region granularity).
+    pub writes: u64,
+    /// Line lookups that hit the shared cache.
+    pub l2_hits: u64,
+    /// Line lookups that missed to memory.
+    pub l2_misses: u64,
+    /// Dirty cache-to-cache transfers (read of another core's line).
+    pub transfers: u64,
+    /// Invalidations (write to a line another core wrote).
+    pub invalidations: u64,
+    /// Total stall cycles charged to cores by the fabric.
+    pub stall_cycles: CycleCount,
+}
+
+impl CoherenceStats {
+    /// Coherence events per message-ish unit: transfers + invalidations.
+    pub fn coherence_events(&self) -> u64 {
+        self.transfers + self.invalidations
+    }
+}
+
+/// A shared, inclusive second-level cache plus last-writer directory.
+#[derive(Debug, Clone)]
+pub struct SharedL2 {
+    cfg: SharedL2Config,
+    l2: Cache,
+    /// Last core to write each line; absent means never written (or
+    /// only read so far).
+    owners: BTreeMap<u64, u8>,
+    stats: CoherenceStats,
+}
+
+impl SharedL2 {
+    /// Builds an empty shared level.
+    pub fn new(cfg: SharedL2Config) -> Self {
+        SharedL2 {
+            l2: Cache::new(cfg.l2),
+            owners: BTreeMap::new(),
+            stats: CoherenceStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> &SharedL2Config {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Clears the counters (the directory and tags stay warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = CoherenceStats::default();
+    }
+
+    /// `core` reads every line of `region` through the shared level;
+    /// the stall cycles are charged to `machine` (the reader's core).
+    /// Returns the cycles charged.
+    pub fn read(&mut self, core: u8, region: Region, machine: &mut Machine) -> CycleCount {
+        self.stats.reads += 1;
+        let mut stall = 0;
+        for addr in region.line_addrs(self.cfg.l2.line_size) {
+            let line = addr / self.cfg.l2.line_size;
+            stall += self.lookup(line, AccessKind::Read);
+            if let Some(&owner) = self.owners.get(&line) {
+                if owner != core {
+                    self.stats.transfers += 1;
+                    stall += self.cfg.transfer_cycles;
+                }
+            }
+        }
+        machine.stall(stall);
+        self.stats.stall_cycles += stall;
+        stall
+    }
+
+    /// `core` writes every line of `region` through the shared level,
+    /// invalidating other cores' copies and taking ownership; the stall
+    /// cycles are charged to `machine`. Returns the cycles charged.
+    pub fn write(&mut self, core: u8, region: Region, machine: &mut Machine) -> CycleCount {
+        self.stats.writes += 1;
+        let mut stall = 0;
+        for addr in region.line_addrs(self.cfg.l2.line_size) {
+            let line = addr / self.cfg.l2.line_size;
+            stall += self.lookup(line, AccessKind::Write);
+            match self.owners.insert(line, core) {
+                Some(prev) if prev != core => {
+                    self.stats.invalidations += 1;
+                    stall += self.cfg.invalidate_cycles;
+                }
+                _ => {}
+            }
+        }
+        machine.stall(stall);
+        self.stats.stall_cycles += stall;
+        stall
+    }
+
+    fn lookup(&mut self, line: u64, kind: AccessKind) -> CycleCount {
+        if self.l2.access_line(line, kind) {
+            self.stats.l2_hits += 1;
+            self.cfg.hit_cycles
+        } else {
+            self.stats.l2_misses += 1;
+            self.cfg.miss_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::synthetic_benchmark())
+    }
+
+    fn line_region(line: u64) -> Region {
+        Region::new(line * 32, 32)
+    }
+
+    #[test]
+    fn cold_read_pays_the_memory_fill() {
+        let mut l2 = SharedL2::new(SharedL2Config::smp_default());
+        let mut m = machine();
+        let before = m.cycles();
+        let charged = l2.read(0, line_region(7), &mut m);
+        assert_eq!(charged, l2.config().miss_cycles);
+        assert_eq!(m.cycles() - before, charged, "stall billed to the core");
+        assert_eq!(l2.stats().l2_misses, 1);
+
+        // Warm re-read by the same core: an L2 hit, no coherence cost.
+        let charged = l2.read(0, line_region(7), &mut m);
+        assert_eq!(charged, l2.config().hit_cycles);
+        assert_eq!(l2.stats().transfers, 0);
+    }
+
+    #[test]
+    fn cross_core_read_after_write_is_a_transfer() {
+        let mut l2 = SharedL2::new(SharedL2Config::smp_default());
+        let mut m0 = machine();
+        let mut m1 = machine();
+        l2.write(0, line_region(3), &mut m0);
+        let charged = l2.read(1, line_region(3), &mut m1);
+        assert_eq!(charged, l2.config().hit_cycles + l2.config().transfer_cycles);
+        assert_eq!(l2.stats().transfers, 1);
+
+        // The owner's own re-read is free of coherence cost.
+        let charged = l2.read(0, line_region(3), &mut m0);
+        assert_eq!(charged, l2.config().hit_cycles);
+        assert_eq!(l2.stats().transfers, 1);
+    }
+
+    #[test]
+    fn cross_core_write_invalidates() {
+        let mut l2 = SharedL2::new(SharedL2Config::smp_default());
+        let mut m0 = machine();
+        let mut m1 = machine();
+        l2.write(0, line_region(3), &mut m0);
+        let charged = l2.write(1, line_region(3), &mut m1);
+        assert_eq!(charged, l2.config().hit_cycles + l2.config().invalidate_cycles);
+        assert_eq!(l2.stats().invalidations, 1);
+        // Ownership moved: core 1 now re-writes without invalidating.
+        let charged = l2.write(1, line_region(3), &mut m1);
+        assert_eq!(charged, l2.config().hit_cycles);
+        assert_eq!(l2.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn ping_pong_counts_every_bounce() {
+        let mut l2 = SharedL2::new(SharedL2Config::smp_default());
+        let mut m0 = machine();
+        let mut m1 = machine();
+        for _ in 0..10 {
+            l2.write(0, line_region(5), &mut m0);
+            l2.write(1, line_region(5), &mut m1);
+        }
+        assert_eq!(l2.stats().invalidations, 19, "every ownership flip after the first");
+        assert!(l2.stats().stall_cycles > 0);
+    }
+
+    #[test]
+    fn multi_line_regions_charge_per_line() {
+        let mut l2 = SharedL2::new(SharedL2Config::smp_default());
+        let mut m = machine();
+        // 4 lines cold: 4 memory fills.
+        let charged = l2.read(0, Region::new(0x1000, 128), &mut m);
+        assert_eq!(charged, 4 * l2.config().miss_cycles);
+        assert_eq!(l2.stats().l2_misses, 4);
+    }
+
+    #[test]
+    fn fabric_does_not_disturb_the_private_replay_memoizer() {
+        // A core that interleaves memoized code fetches with shared-state
+        // accesses must see identical miss counts to one that never
+        // touches the fabric: the L1s and the shared level are disjoint.
+        let lines: Vec<u64> = (0x100..0x110).collect();
+        let mut plain = machine();
+        let mut a = plain.fetch_code_footprint(1, &lines);
+        a += plain.fetch_code_footprint(1, &lines);
+
+        let mut shared = SharedL2::new(SharedL2Config::smp_default());
+        let mut composed = machine();
+        let mut b = composed.fetch_code_footprint(1, &lines);
+        shared.read(0, line_region(0x9000), &mut composed);
+        shared.write(0, line_region(0x9000), &mut composed);
+        b += composed.fetch_code_footprint(1, &lines);
+
+        assert_eq!(a, b, "shared-level traffic must not perturb L1 behaviour");
+        assert_eq!(plain.replay_stats().hits, composed.replay_stats().hits);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod coherence;
 pub mod machine;
 pub mod placement;
 pub mod replay;
@@ -34,6 +35,7 @@ pub mod tlb;
 
 pub use addr::{Addr, Region};
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats};
+pub use coherence::{CoherenceStats, SharedL2, SharedL2Config};
 pub use machine::{CycleCount, Machine, MachineConfig, MachineStats};
 pub use placement::{AddressAllocator, RandomPlacement};
 pub use replay::ReplayCache;

@@ -339,6 +339,18 @@ impl Machine {
         self.instr_cycles += n;
     }
 
+    /// Charges `n` stall cycles modelled *outside* this machine's private
+    /// caches — the hook that makes hierarchies composable: a shared
+    /// second-level cache or coherence fabric (see [`crate::coherence`])
+    /// simulates its own hits, misses, and invalidations and bills the
+    /// stall time to the core that waited, without this machine needing
+    /// to own (or even know about) the outer level. Keeping the outer
+    /// level out of `MachineConfig::l2` also keeps the core replay-
+    /// eligible, so the footprint memoizer stays effective per core.
+    pub fn stall(&mut self, n: CycleCount) {
+        self.stall_cycles += n;
+    }
+
     /// Fetches every line of `region` through the I-cache (and the ITB,
     /// when configured), charging miss/refill penalties. Returns the
     /// number of cache misses.

@@ -36,6 +36,23 @@ impl BatchPolicy {
     }
 }
 
+/// Contiguous partition of a protocol stack's layers across pipeline
+/// stages — the dispatch-policy arithmetic behind LDLP-aware *layer
+/// affinity* (`crates/smp`): each core is pinned to a run of adjacent
+/// layers so its I-cache only ever holds that slice of the code.
+///
+/// Returns the number of layers per stage. At most `num_layers` stages
+/// are used (a core count beyond that leaves cores idle); sizes differ
+/// by at most one, with the larger stages first, so the entry stage —
+/// which also absorbs the NIC backlog and forms the biggest batches —
+/// is the one best placed to amortize an oversized slice.
+pub fn stage_partition(num_layers: usize, cores: usize) -> Vec<usize> {
+    let stages = cores.clamp(1, num_layers.max(1));
+    let base = num_layers / stages;
+    let rem = num_layers % stages;
+    (0..stages).map(|i| base + usize::from(i < rem)).collect()
+}
+
 /// What to do when a packet arrives and the adaptor buffer is full
 /// (Section 4's 500-packet NIC queue). The paper's simulator tail-drops;
 /// production adaptors differ, and under sustained overload the choice
@@ -82,6 +99,23 @@ impl AdmissionPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_partition_covers_all_layers_balanced() {
+        assert_eq!(stage_partition(5, 1), vec![5]);
+        assert_eq!(stage_partition(5, 2), vec![3, 2]);
+        assert_eq!(stage_partition(5, 4), vec![2, 1, 1, 1]);
+        assert_eq!(stage_partition(5, 8), vec![1, 1, 1, 1, 1], "extra cores idle");
+        for layers in 1..12usize {
+            for cores in 1..10usize {
+                let p = stage_partition(layers, cores);
+                assert_eq!(p.iter().sum::<usize>(), layers);
+                assert!(p.len() <= cores && p.len() <= layers);
+                let (min, max) = (p.iter().min().copied(), p.iter().max().copied());
+                assert!(max.unwrap_or(0) - min.unwrap_or(0) <= 1, "balanced to within one");
+            }
+        }
+    }
 
     #[test]
     fn dcache_fit_matches_paper_arithmetic() {

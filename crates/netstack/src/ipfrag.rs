@@ -21,6 +21,16 @@ pub const MAX_DATAGRAM: usize = 65_535;
 /// Reassembly timeout in milliseconds (RFC 791 suggests 15 s).
 pub const REASSEMBLY_TIMEOUT_MS: u64 = 15_000;
 
+/// Simulated footprint of one reassembly-table slot, for the SMP
+/// shared-state cost model (`crates/smp`): the table is mutable state
+/// shared by every core that processes fragments, so each per-message
+/// lookup/update goes through the shared L2 with coherence accounting.
+/// One slot ≈ a descriptor header plus the hole list — two 32-byte
+/// lines.
+pub const REASSEMBLY_SLOT_BYTES: u64 = 64;
+/// Total simulated footprint of the shared reassembly table.
+pub const REASSEMBLY_TABLE_BYTES: u64 = MAX_REASSEMBLIES as u64 * REASSEMBLY_SLOT_BYTES;
+
 /// Splits `payload` into fragments that fit `mtu` (the IP packet size
 /// bound, header included). Returns complete serialized IP packets.
 /// Fragment offsets are in 8-byte units, so every fragment except the

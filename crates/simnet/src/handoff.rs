@@ -1,0 +1,153 @@
+//! Bounded inter-core hand-off queues for the SMP pipeline.
+//!
+//! When the protocol stack is software-pipelined across cores
+//! (FlexTOE-style layer affinity, see `crates/smp`), a stage that
+//! finishes its slice of the stack parks the batch in a bounded queue
+//! for the next stage. Each item carries the simulated cycle at which
+//! it becomes visible downstream, so the consuming core cannot start
+//! before its producer finished.
+//!
+//! The queue itself is pure bookkeeping — the *cost* of a hand-off
+//! (descriptor-ring writes and reads through the shared L2, coherence
+//! transfers) is charged by the run loop via
+//! `cachesim::coherence::SharedL2`.
+//!
+//! Boundedness gives natural backpressure: a producer never forms a
+//! batch larger than the free space of its downstream queue, so under
+//! overload the backlog accumulates at the entry queue (where the
+//! admission policy decides who is dropped) and nothing is silently
+//! lost mid-pipeline — the conservation law stays exact.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of items that become ready at known simulated cycles.
+///
+/// Ready times must be pushed in non-decreasing order (a single
+/// producing stage finishes batches in time order), which keeps
+/// [`Handoff::next_ready`] and [`Handoff::ready_count`] O(1)-per-item
+/// front scans.
+#[derive(Debug, Clone)]
+pub struct Handoff<T> {
+    items: VecDeque<(u64, T)>,
+    cap: usize,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<T> Handoff<T> {
+    /// An empty queue holding at most `cap` items. `cap` must be > 0.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "hand-off queue capacity must be positive");
+        Handoff {
+            items: VecDeque::with_capacity(cap),
+            cap,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Items currently parked.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Remaining slots before the queue is full.
+    pub fn free(&self) -> usize {
+        self.cap - self.items.len()
+    }
+
+    /// Total items ever pushed (the producer-side descriptor sequence
+    /// number: `pushed % cap` is the ring slot the next push writes).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total items ever popped (the consumer-side sequence number).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Parks `item`, visible downstream from cycle `ready`. Returns
+    /// `false` (and drops nothing — the item is handed back untouched
+    /// conceptually; callers size batches by [`Handoff::free`] first)
+    /// when the queue is full.
+    pub fn push(&mut self, ready: u64, item: T) -> bool {
+        if self.items.len() == self.cap {
+            return false;
+        }
+        debug_assert!(
+            self.items.back().is_none_or(|&(r, _)| r <= ready),
+            "hand-off ready times must be non-decreasing"
+        );
+        self.items.push_back((ready, item));
+        self.pushed += 1;
+        true
+    }
+
+    /// Iterates `(ready, item)` pairs front to back (arrival order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.items.iter().map(|(r, item)| (*r, item))
+    }
+
+    /// The cycle at which the front item becomes visible, if any.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.items.front().map(|&(r, _)| r)
+    }
+
+    /// How many items (from the front) are visible at cycle `now`.
+    pub fn ready_count(&self, now: u64) -> usize {
+        self.items.iter().take_while(|&&(r, _)| r <= now).count()
+    }
+
+    /// Pops the front item if it is visible at cycle `now`.
+    pub fn pop(&mut self, now: u64) -> Option<T> {
+        match self.items.front() {
+            Some(&(r, _)) if r <= now => {
+                self.popped += 1;
+                self.items.pop_front().map(|(_, item)| item)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_with_ready_times() {
+        let mut q: Handoff<u32> = Handoff::new(4);
+        assert!(q.is_empty());
+        assert!(q.push(10, 1));
+        assert!(q.push(10, 2));
+        assert!(q.push(25, 3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_ready(), Some(10));
+        assert_eq!(q.ready_count(9), 0);
+        assert_eq!(q.ready_count(10), 2);
+        assert_eq!(q.ready_count(30), 3);
+        assert_eq!(q.pop(9), None, "not visible yet");
+        assert_eq!(q.pop(10), Some(1));
+        assert_eq!(q.pop(10), Some(2));
+        assert_eq!(q.pop(10), None, "third item still in flight");
+        assert_eq!(q.pop(25), Some(3));
+        assert_eq!((q.pushed(), q.popped()), (3, 3));
+    }
+
+    #[test]
+    fn boundedness_refuses_when_full() {
+        let mut q: Handoff<u32> = Handoff::new(2);
+        assert!(q.push(1, 1));
+        assert!(q.push(1, 2));
+        assert_eq!(q.free(), 0);
+        assert!(!q.push(1, 3), "full queue must refuse");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pushed(), 2, "refused push is not counted");
+    }
+}

@@ -27,12 +27,14 @@
 //!   results in index order, so sweep output is byte-identical to the
 //!   serial path.
 
+pub mod handoff;
 pub mod impair;
 pub mod par;
 pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use handoff::Handoff;
 pub use impair::{
     reorder_deliveries, GilbertElliott, ImpairConfig, ImpairCounters, ImpairedArrival,
     ImpairedSource,

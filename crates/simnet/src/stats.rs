@@ -39,7 +39,7 @@ pub struct RunTally {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Messages fully processed and delivered.
     pub completed: u64,

@@ -1,0 +1,952 @@
+//! The multi-core run loop: N per-core LDLP engines over a shared L2,
+//! driven by one deterministic event loop.
+//!
+//! Each core is a private, replay-eligible [`cachesim::Machine`] (split
+//! L1 I/D, the paper's single-penalty miss path) inside its own
+//! [`StackEngine`]. The cores are composed — not merged — with a
+//! [`SharedL2`] fabric: mutable state that several cores touch (the
+//! reassembly table, the signaling call table, and the descriptor rings
+//! of inter-core hand-off queues) is accessed only through the fabric,
+//! which charges L2 hits/misses plus coherence transfer/invalidation
+//! costs back to the accessing core. Keeping the shared level outside
+//! the private machines keeps each core eligible for the footprint
+//! replay memoizer — the multi-core model loses none of the single-core
+//! simulation speed.
+//!
+//! Dispatch modes (see [`crate::steer`]):
+//! * **FlowHash** / **RoundRobin** — every core runs the full stack on
+//!   the flows steered to it; the NIC buffer is split evenly across the
+//!   per-core entry queues. Both shared tables are touched by every
+//!   core, so table slots ping-pong through the coherence fabric.
+//! * **LayerAffinity** — the stack is partitioned contiguously across
+//!   cores ([`ldlp::stage_partition`]); all packets enter stage 0 and
+//!   whole layer-batches move between stages through bounded
+//!   [`Handoff`] queues, paying descriptor-ring traffic through the
+//!   fabric instead. Each shared table has a single owning stage, so
+//!   after warm-up its lines never migrate.
+//!
+//! Boundedness gives backpressure: a stage never takes a batch larger
+//! than its downstream queue's free space, so overload backs up into
+//! the entry queue where the admission policy decides who is dropped —
+//! never silently mid-pipeline.
+//!
+//! Timekeeping mirrors [`simnet::sim`]: one global cycle clock; each
+//! core's machine counter only advances while that core processes, and
+//! `offset = start − machine_cycles_at_batch_start` converts
+//! per-completion machine times to global times. The scheduler always
+//! runs the core with the earliest possible batch start (ties broken by
+//! lowest core index), and admissions happen strictly in arrival order
+//! before any batch that would start later — fully deterministic,
+//! thread-free simulation.
+//!
+//! Accounting extends the single-core conservation law across cores:
+//! `offered == Σ completed + Σ rejected + Σ drops + Σ shed +
+//! Σ entry-queued + Σ hand-off-parked`, asserted at the end of every
+//! run (the last two terms are zero then, because a run drains).
+
+use crate::steer::{DispatchPolicy, FlowArrival, Steerer};
+use cachesim::{
+    CoherenceStats, MachineConfig, MachineStats, Region, ReplayStats, SharedL2, SharedL2Config,
+};
+use ldlp::synth::{paper_stack, MessagePool};
+use ldlp::{stage_partition, AdmissionPolicy, Completion, Discipline, SimMessage, StackEngine};
+use obs::{NameId, SpanEvent};
+use simnet::stats::{RunTally, SimReport};
+use simnet::{Handoff, ImpairCounters};
+use std::collections::VecDeque;
+
+/// Where the shared mutable state lives in the flat simulated address
+/// space — disjoint from the code/data/mbuf windows `ldlp::synth` uses.
+const REASS_TABLE_BASE: u64 = 0x3000_0000;
+const CALL_TABLE_BASE: u64 = 0x3100_0000;
+const DESC_WINDOW_BASE: u64 = 0x3200_0000;
+/// One hand-off descriptor: a cache line's worth of message metadata.
+const DESC_BYTES: u64 = 64;
+
+/// Layers in the paper stack driven by this simulation.
+const STACK_LAYERS: usize = 5;
+
+/// Simulation parameters for one multi-core run.
+#[derive(Debug, Clone, Copy)]
+pub struct SmpConfig {
+    /// Number of cores (≥ 1). Under LayerAffinity at most one core per
+    /// layer does useful work; extra cores idle (and report zeros).
+    pub cores: usize,
+    /// How packets are dispatched to cores.
+    pub dispatch: DispatchPolicy,
+    /// Per-core processing discipline (Conventional / LDLP / ILP).
+    pub discipline: Discipline,
+    /// Per-core machine (private split L1s; leave `l2` unset so the
+    /// footprint-replay memoizer stays eligible).
+    pub machine: MachineConfig,
+    /// Shared L2 + coherence fabric costs.
+    pub shared: SharedL2Config,
+    /// What to do with an arrival when its entry queue is full.
+    pub admission: AdmissionPolicy,
+    /// Total NIC buffering in packets, split evenly across entry queues
+    /// (all cores under FlowHash/RoundRobin; stage 0 keeps the whole
+    /// budget under LayerAffinity).
+    pub buffer_cap: usize,
+    /// Capacity of each inter-core hand-off queue, in messages.
+    pub handoff_cap: usize,
+    /// Arrival-window length in seconds (for rate accounting).
+    pub duration_s: f64,
+    /// Message-buffer pool entries per entry core.
+    pub pool_bufs: usize,
+    /// Message-buffer size in bytes.
+    pub pool_buf_bytes: u64,
+    /// Seed for code/data/buffer placement. All cores share one layout:
+    /// one kernel image, mapped on every core.
+    pub placement_seed: u64,
+}
+
+impl SmpConfig {
+    /// The defaults every figure-9 cell starts from: the paper's
+    /// synthetic-benchmark machine per core, the paper's buffer budget,
+    /// and the stock SMP fabric.
+    pub fn new(cores: usize, dispatch: DispatchPolicy, discipline: Discipline) -> Self {
+        SmpConfig {
+            cores,
+            dispatch,
+            discipline,
+            machine: MachineConfig::synthetic_benchmark(),
+            shared: SharedL2Config::smp_default(),
+            admission: AdmissionPolicy::TailDrop,
+            buffer_cap: 500,
+            handoff_cap: 64,
+            duration_s: 1.0,
+            pool_bufs: 64,
+            pool_buf_bytes: 1536,
+            placement_seed: 1,
+        }
+    }
+}
+
+/// Per-core outcome of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreReport {
+    /// Messages that finished their final stage on this core.
+    pub completed: u64,
+    /// Corrupted messages rejected at this core's verify layer.
+    pub rejected: u64,
+    /// Arrivals refused admission at this core's entry queue.
+    pub drops: u64,
+    /// Queued packets evicted by the admission policy.
+    pub shed: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Messages processed on this core (any outcome, incl. handed off).
+    pub msgs: u64,
+    /// Cycles this core spent processing (not idling).
+    pub busy_cycles: u64,
+    /// L1 instruction-cache misses charged to this core.
+    pub imisses: u64,
+    /// L1 data-cache misses charged to this core.
+    pub dmisses: u64,
+}
+
+/// Everything one multi-core run produced.
+#[derive(Debug, Clone)]
+pub struct SmpOutcome {
+    /// Aggregate report in the single-core [`SimReport`] shape (a
+    /// message's I/D-miss samples are summed across the stages it
+    /// visited).
+    pub report: SimReport,
+    /// Per-core breakdown, one entry per configured core (idle cores
+    /// under LayerAffinity report zeros).
+    pub per_core: Vec<CoreReport>,
+    /// Shared-L2 / coherence counters for the run.
+    pub coherence: CoherenceStats,
+    /// Messages that crossed an inter-core hand-off queue.
+    pub handoff_msgs: u64,
+    /// Footprint-replay memoizer counters for the run, summed across
+    /// cores.
+    pub replay: ReplayStats,
+}
+
+/// Interned per-core observability names.
+#[derive(Debug, Clone, Copy)]
+struct ObsIds {
+    batch: NameId,
+    latency: NameId,
+    imiss: NameId,
+    dmiss: NameId,
+}
+
+/// One packet waiting in an entry queue.
+#[derive(Debug, Clone, Copy)]
+struct EntryPkt {
+    arr: u64,
+    bytes: u32,
+    corrupted: bool,
+    flow_id: u32,
+}
+
+/// A message parked in a hand-off queue between pipeline stages,
+/// carrying its accumulated per-message cost so the final stage can
+/// emit whole-path samples.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    msg: SimMessage,
+    arr: u64,
+    flow_id: u32,
+    imiss: u64,
+    dmiss: u64,
+}
+
+/// Per-message bookkeeping for the batch in flight.
+#[derive(Debug, Clone, Copy)]
+struct BatchMeta {
+    arr: u64,
+    flow_id: u32,
+    imiss: u64,
+    dmiss: u64,
+}
+
+struct CoreState {
+    engine: StackEngine,
+    pool: MessagePool,
+    entry: VecDeque<EntryPkt>,
+    inbox: Handoff<Pending>,
+    busy_until: u64,
+    /// Machine cycle count when the current run started.
+    m0: u64,
+    /// L1 miss counters when the current run started.
+    icache0: u64,
+    dcache0: u64,
+    replay0: ReplayStats,
+    obs: Option<ObsIds>,
+    rep: CoreReport,
+    // Reused per-batch scratch: the steady-state loop allocates nothing.
+    batch: Vec<SimMessage>,
+    meta: Vec<BatchMeta>,
+    completions: Vec<Completion>,
+}
+
+/// The reusable multi-core simulator. Build once, [`SmpSim::run`] per
+/// arrival stream, read the [`SmpSim::outcome`]. The run loop itself is
+/// allocation-free in steady state (pinned by `tests/alloc.rs`); the
+/// allocating report assembly lives in [`SmpSim::outcome`].
+pub struct SmpSim {
+    cfg: SmpConfig,
+    pipeline: bool,
+    /// Cores that actually run protocol code (== `cfg.cores` for
+    /// full-stack dispatch, ≤ under LayerAffinity).
+    stages: usize,
+    cores: Vec<CoreState>,
+    shared: SharedL2,
+    steer: Steerer,
+    entry_cap: usize,
+    clock_mhz: f64,
+    cycles_per_s: f64,
+    latencies_us: Vec<f64>,
+    imisses: Vec<u64>,
+    dmisses: Vec<u64>,
+    offered: u64,
+    last_finish: u64,
+    handoff_msgs: u64,
+    batches: u64,
+    msg_seq: u64,
+}
+
+impl SmpSim {
+    /// Builds the engines, queues, and fabric for `cfg`.
+    pub fn new(cfg: &SmpConfig) -> SmpSim {
+        assert!(cfg.cores > 0, "need at least one core");
+        let pipeline = cfg.dispatch == DispatchPolicy::LayerAffinity;
+        let sizes = stage_partition(STACK_LAYERS, cfg.cores);
+        let stages = if pipeline { sizes.len() } else { cfg.cores };
+        let entry_cores = if pipeline { 1 } else { cfg.cores };
+        let entry_cap = (cfg.buffer_cap / entry_cores).max(1);
+
+        let mut cores = Vec::with_capacity(stages);
+        let mut offset = 0usize;
+        for s in 0..stages {
+            // Every core maps the same kernel image: one placement seed
+            // for all, so layer code/data addresses agree across cores.
+            let (machine, layers) = paper_stack(cfg.machine, cfg.placement_seed);
+            let layers = if pipeline {
+                let take = sizes.get(s).copied().unwrap_or(0);
+                let chunk: Vec<_> = layers.into_iter().skip(offset).take(take).collect();
+                offset += take;
+                chunk
+            } else {
+                layers
+            };
+            let engine = StackEngine::new(machine, layers, cfg.discipline);
+            cores.push(CoreState {
+                engine,
+                pool: MessagePool::new(cfg.pool_bufs, cfg.pool_buf_bytes, cfg.placement_seed),
+                entry: VecDeque::with_capacity(entry_cap),
+                inbox: Handoff::new(cfg.handoff_cap),
+                busy_until: 0,
+                m0: 0,
+                icache0: 0,
+                dcache0: 0,
+                replay0: ReplayStats::default(),
+                obs: None,
+                rep: CoreReport::default(),
+                batch: Vec::with_capacity(cfg.pool_bufs),
+                meta: Vec::with_capacity(cfg.pool_bufs),
+                completions: Vec::with_capacity(cfg.pool_bufs),
+            });
+        }
+
+        let clock_mhz = cfg.machine.clock_mhz;
+        SmpSim {
+            pipeline,
+            stages,
+            cores,
+            shared: SharedL2::new(cfg.shared),
+            steer: Steerer::new(cfg.dispatch, if pipeline { 1 } else { cfg.cores }),
+            entry_cap,
+            clock_mhz,
+            cycles_per_s: clock_mhz * 1e6,
+            latencies_us: Vec::new(),
+            imisses: Vec::new(),
+            dmisses: Vec::new(),
+            offered: 0,
+            last_finish: 0,
+            handoff_msgs: 0,
+            batches: 0,
+            msg_seq: 0,
+            cfg: *cfg,
+        }
+    }
+
+    /// The configuration this simulator was built from.
+    pub fn config(&self) -> &SmpConfig {
+        &self.cfg
+    }
+
+    /// Number of cores that actually run protocol code.
+    pub fn active_cores(&self) -> usize {
+        self.stages
+    }
+
+    /// Attaches one observability sink per active core, with `c<i>/`
+    /// name prefixes. `collect_spans` keeps raw events for tracing;
+    /// `false` folds into metrics accumulators only.
+    pub fn set_sinks(&mut self, collect_spans: bool) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let prefix = format!("c{i}/");
+            core.engine.set_sink(obs::Sink::record(collect_spans), &prefix);
+            core.obs = match (
+                core.engine.obs_intern("batch"),
+                core.engine.obs_intern("latency_us"),
+                core.engine.obs_intern("imiss_per_msg"),
+                core.engine.obs_intern("dmiss_per_msg"),
+            ) {
+                (Some(batch), Some(latency), Some(imiss), Some(dmiss)) => Some(ObsIds {
+                    batch,
+                    latency,
+                    imiss,
+                    dmiss,
+                }),
+                _ => None,
+            };
+        }
+    }
+
+    /// Detaches and returns the per-core recorders as
+    /// `("core<i>", recorder)` pairs — one trace track per core.
+    pub fn take_recorders(&mut self) -> Vec<(String, Box<obs::Recorder>)> {
+        let mut out = Vec::new();
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if let Some(rec) = core.engine.take_sink().into_recorder() {
+                out.push((format!("core{i}"), rec));
+            }
+            core.obs = None;
+        }
+        out
+    }
+
+    /// Runs one arrival stream to drain. Per-run counters and samples
+    /// reset first; caches, the replay memo table, the coherence
+    /// directory, and flow-steering state stay warm across runs (like
+    /// real silicon across seconds). Asserts the multi-core
+    /// conservation law before returning.
+    pub fn run(&mut self, arrivals: &[FlowArrival]) {
+        self.reset_run();
+        self.offered = arrivals.len() as u64;
+
+        let mut next_arrival = 0usize;
+        loop {
+            // The earliest startable batch across cores; the strict `<`
+            // breaks ties toward the lowest core index.
+            let mut best: Option<(u64, usize)> = None;
+            for c in 0..self.cores.len() {
+                let Some(ready) = self.next_ready(c) else {
+                    continue;
+                };
+                if self.blocked_downstream(c) {
+                    continue;
+                }
+                let start = ready.max(self.cores[c].busy_until);
+                if best.is_none_or(|(s, _)| start < s) {
+                    best = Some((start, c));
+                }
+            }
+
+            // Admissions happen in arrival order before any batch that
+            // would start later (inclusive: a batch forming at t sees
+            // everything that arrived by t, as in the single-core loop).
+            if next_arrival < arrivals.len() {
+                let a = arrivals[next_arrival];
+                let t = (a.time_s * self.cycles_per_s).round() as u64;
+                if best.is_none_or(|(s, _)| t <= s) {
+                    self.admit(&a, t);
+                    next_arrival += 1;
+                    continue;
+                }
+            }
+
+            let Some((start, c)) = best else {
+                // No runnable core and no arrivals left: drained.
+                break;
+            };
+            self.run_batch(c, start);
+        }
+
+        self.assert_conservation();
+    }
+
+    /// Assembles the run's [`SmpOutcome`]. Allocates — call it outside
+    /// the measured window; `net` carries impairment-channel counters
+    /// into the report (use `default()` for a clean channel).
+    pub fn outcome(&mut self, net: ImpairCounters) -> SmpOutcome {
+        let mut rejected = 0u64;
+        let mut drops = 0u64;
+        let mut shed = 0u64;
+        for core in &self.cores {
+            rejected += core.rep.rejected;
+            drops += core.rep.drops;
+            shed += core.rep.shed;
+        }
+        let report = SimReport::from_samples(
+            &mut self.latencies_us,
+            &self.imisses,
+            &self.dmisses,
+            RunTally {
+                offered: self.offered,
+                rejected,
+                drops,
+                shed,
+                in_flight: 0,
+                duration_s: self.cfg.duration_s,
+                span_s: self.last_finish as f64 / self.cycles_per_s,
+                batches: self.batches,
+                net,
+            },
+        );
+
+        let mut per_core = Vec::with_capacity(self.cfg.cores);
+        let mut replay = ReplayStats::default();
+        for core in &self.cores {
+            let stats: MachineStats = core.engine.machine().stats();
+            let mut rep = core.rep;
+            rep.imisses = stats.icache.misses - core.icache0;
+            rep.dmisses = stats.dcache.misses - core.dcache0;
+            per_core.push(rep);
+            let r = core.engine.machine().replay_stats();
+            replay.hits += r.hits - core.replay0.hits;
+            replay.misses += r.misses - core.replay0.misses;
+            replay.bypasses += r.bypasses - core.replay0.bypasses;
+        }
+        // Idle cores (LayerAffinity with more cores than layers).
+        per_core.resize(self.cfg.cores, CoreReport::default());
+
+        SmpOutcome {
+            report,
+            per_core,
+            coherence: self.shared.stats(),
+            handoff_msgs: self.handoff_msgs,
+            replay,
+        }
+    }
+
+    fn reset_run(&mut self) {
+        self.latencies_us.clear();
+        self.imisses.clear();
+        self.dmisses.clear();
+        self.offered = 0;
+        self.last_finish = 0;
+        self.handoff_msgs = 0;
+        self.batches = 0;
+        self.msg_seq = 0;
+        self.shared.reset_stats();
+        for core in &mut self.cores {
+            core.rep = CoreReport::default();
+            core.busy_until = 0;
+            core.m0 = core.engine.machine().cycles();
+            let stats = core.engine.machine().stats();
+            core.icache0 = stats.icache.misses;
+            core.dcache0 = stats.dcache.misses;
+            core.replay0 = core.engine.machine().replay_stats();
+            debug_assert!(core.entry.is_empty() && core.inbox.is_empty());
+        }
+    }
+
+    fn next_ready(&self, c: usize) -> Option<u64> {
+        let core = &self.cores[c];
+        match core.entry.front() {
+            Some(pkt) => Some(pkt.arr),
+            None => core.inbox.next_ready(),
+        }
+    }
+
+    fn blocked_downstream(&self, c: usize) -> bool {
+        self.pipeline && c + 1 < self.stages && self.cores[c + 1].inbox.free() == 0
+    }
+
+    fn admit(&mut self, a: &FlowArrival, t: u64) {
+        let c = self.steer.core_for(&a.key);
+        let core = &mut self.cores[c];
+        let (evict, admit) = self.cfg.admission.admit(core.entry.len(), self.entry_cap);
+        for _ in 0..evict {
+            core.entry.pop_front();
+            core.rep.shed += 1;
+        }
+        if admit {
+            core.entry.push_back(EntryPkt {
+                arr: t,
+                bytes: a.bytes,
+                corrupted: a.corrupted,
+                flow_id: a.flow_id,
+            });
+        } else {
+            core.rep.drops += 1;
+        }
+    }
+
+    /// Shared-table slot for `flow_id`: `slots` entries of `slot_bytes`
+    /// at `base`.
+    fn table_slot(base: u64, slots: u64, slot_bytes: u64, flow_id: u32) -> Region {
+        Region::new(base + (u64::from(flow_id) % slots) * slot_bytes, slot_bytes)
+    }
+
+    /// Descriptor-ring slot `seq % cap` of the queue feeding `stage`.
+    fn desc_region(handoff_cap: usize, stage: usize, seq: u64) -> Region {
+        let cap = handoff_cap as u64;
+        let ring = DESC_WINDOW_BASE + stage as u64 * cap * DESC_BYTES;
+        Region::new(ring + (seq % cap) * DESC_BYTES, DESC_BYTES)
+    }
+
+    fn run_batch(&mut self, c: usize, start: u64) {
+        let has_down = self.pipeline && c + 1 < self.stages;
+        let is_final = !has_down;
+        let owns_bottom = !self.pipeline || c == 0;
+        let owns_top = !self.pipeline || c + 1 == self.stages;
+        let handoff_cap = self.cfg.handoff_cap;
+
+        let downstream_free = if has_down {
+            self.cores[c + 1].inbox.free()
+        } else {
+            usize::MAX
+        };
+
+        let (left, right) = self.cores.split_at_mut(c + 1);
+        let core = &mut left[c];
+        let mut down = if has_down { right.first_mut() } else { None };
+
+        // Candidate set: how many messages are takeable right now, and
+        // how big the largest is (batch limits are sized conservatively
+        // by the largest candidate, as in the single-core loop).
+        let (avail, max_bytes) = if core.entry.is_empty() {
+            let mut n = 0usize;
+            let mut max = 0u64;
+            for (ready, p) in core.inbox.iter() {
+                if ready > start {
+                    break;
+                }
+                n += 1;
+                max = max.max(p.msg.buf.len);
+            }
+            (n, max)
+        } else {
+            (
+                core.entry.len(),
+                core.entry.iter().map(|p| u64::from(p.bytes)).max().unwrap_or(0),
+            )
+        };
+        debug_assert!(avail > 0, "scheduled a core with no takeable work");
+        let limit = core
+            .engine
+            .batch_limit(max_bytes.max(1))
+            .min(avail)
+            .min(self.cfg.pool_bufs)
+            .min(downstream_free);
+
+        let m_before_abs = core.engine.machine().cycles();
+        let m_before = m_before_abs - core.m0;
+        debug_assert!(start >= m_before, "busy accounting lost cycles");
+        let stats_before = core.obs.map(|_| core.engine.machine().stats());
+
+        // Form the batch. Entry cores materialize pool messages;
+        // pipeline stages pop handed-off messages and pay the
+        // consumer-side descriptor-ring read through the fabric.
+        core.batch.clear();
+        core.meta.clear();
+        if core.entry.is_empty() {
+            let popped0 = core.inbox.popped();
+            for k in 0..limit as u64 {
+                let Some(p) = core.inbox.pop(start) else {
+                    break;
+                };
+                core.batch.push(p.msg);
+                core.meta.push(BatchMeta {
+                    arr: p.arr,
+                    flow_id: p.flow_id,
+                    imiss: p.imiss,
+                    dmiss: p.dmiss,
+                });
+                let slot = Self::desc_region(handoff_cap, c, popped0 + k);
+                self.shared.read(c as u8, slot, core.engine.machine_mut());
+            }
+        } else {
+            for _ in 0..limit {
+                let Some(pkt) = core.entry.pop_front() else {
+                    break;
+                };
+                let mut msg = core.pool.make_message(self.msg_seq, u64::from(pkt.bytes));
+                msg.arrival_cycles = pkt.arr;
+                msg.corrupted = pkt.corrupted;
+                self.msg_seq += 1;
+                core.batch.push(msg);
+                core.meta.push(BatchMeta {
+                    arr: pkt.arr,
+                    flow_id: pkt.flow_id,
+                    imiss: 0,
+                    dmiss: 0,
+                });
+            }
+        }
+
+        // Shared mutable protocol state: the reassembly table at the
+        // bottom of the stack, the call table at the top — one
+        // read-modify-write per message each. Under full-stack dispatch
+        // every core does both, so slots ping-pong through the fabric;
+        // under layer affinity each table has one owning stage and its
+        // lines stop migrating after warm-up.
+        for k in 0..core.meta.len() {
+            let flow = core.meta[k].flow_id;
+            if owns_bottom {
+                let slot = Self::table_slot(
+                    REASS_TABLE_BASE,
+                    netstack::ipfrag::REASSEMBLY_TABLE_BYTES
+                        / netstack::ipfrag::REASSEMBLY_SLOT_BYTES,
+                    netstack::ipfrag::REASSEMBLY_SLOT_BYTES,
+                    flow,
+                );
+                self.shared.read(c as u8, slot, core.engine.machine_mut());
+                self.shared.write(c as u8, slot, core.engine.machine_mut());
+            }
+            if owns_top {
+                let slot = Self::table_slot(
+                    CALL_TABLE_BASE,
+                    signaling::call::CALL_TABLE_SLOTS,
+                    signaling::call::CALL_SLOT_BYTES,
+                    flow,
+                );
+                self.shared.read(c as u8, slot, core.engine.machine_mut());
+                self.shared.write(c as u8, slot, core.engine.machine_mut());
+            }
+        }
+
+        core.engine.process_batch_into(&core.batch, &mut core.completions);
+
+        // Producer-side descriptor writes for everything about to be
+        // handed off — still inside this batch's busy window, so the
+        // hand-off cost lands in the message's latency.
+        if let Some(down) = down.as_deref() {
+            let mut seq = down.inbox.pushed();
+            for k in 0..core.completions.len() {
+                if !core.completions[k].rejected {
+                    let slot = Self::desc_region(handoff_cap, c + 1, seq);
+                    self.shared.write(c as u8, slot, core.engine.machine_mut());
+                    seq += 1;
+                }
+            }
+        }
+
+        let m_after_abs = core.engine.machine().cycles();
+        let dur = m_after_abs - m_before_abs;
+        let end_global = start + dur;
+        let offset = start - m_before;
+        core.busy_until = end_global;
+        core.rep.busy_cycles += dur;
+        core.rep.batches += 1;
+        core.rep.msgs += core.batch.len() as u64;
+        self.batches += 1;
+
+        if let (Some(ids), Some(s0)) = (core.obs, stats_before) {
+            let s1 = core.engine.machine().stats();
+            let queue_after = core.entry.len() as u64 + core.inbox.len() as u64;
+            let batch_len = core.batch.len() as u32;
+            if let Some(rec) = core.engine.sink_mut().on_mut() {
+                rec.span(SpanEvent {
+                    name: ids.batch,
+                    start: m_before_abs,
+                    dur,
+                    batch: batch_len,
+                    aux: queue_after,
+                    imisses: s1.icache.misses - s0.icache.misses,
+                    dmisses: s1.dcache.misses - s0.dcache.misses,
+                });
+            }
+        }
+
+        for k in 0..core.completions.len() {
+            let comp = core.completions[k];
+            let meta = core.meta[k];
+            let im = meta.imiss + comp.imisses;
+            let dm = meta.dmiss + comp.dmisses;
+            let finish = (comp.done_cycles - core.m0) + offset;
+            if comp.rejected {
+                core.rep.rejected += 1;
+                self.imisses.push(im);
+                self.dmisses.push(dm);
+                self.last_finish = self.last_finish.max(finish);
+                if let Some(ids) = core.obs {
+                    if let Some(rec) = core.engine.sink_mut().on_mut() {
+                        rec.record_value(ids.imiss, im);
+                        rec.record_value(ids.dmiss, dm);
+                    }
+                }
+            } else if is_final {
+                core.rep.completed += 1;
+                let lat_cycles = finish.saturating_sub(meta.arr);
+                let lat_us = lat_cycles as f64 / self.clock_mhz;
+                self.latencies_us.push(lat_us);
+                self.imisses.push(im);
+                self.dmisses.push(dm);
+                self.last_finish = self.last_finish.max(finish);
+                if let Some(ids) = core.obs {
+                    if let Some(rec) = core.engine.sink_mut().on_mut() {
+                        rec.record_value(ids.latency, lat_us as u64);
+                        rec.record_value(ids.imiss, im);
+                        rec.record_value(ids.dmiss, dm);
+                    }
+                }
+            } else if let Some(down) = down.as_deref_mut() {
+                let pushed = down.inbox.push(
+                    end_global,
+                    Pending {
+                        msg: core.batch[k],
+                        arr: meta.arr,
+                        flow_id: meta.flow_id,
+                        imiss: im,
+                        dmiss: dm,
+                    },
+                );
+                debug_assert!(pushed, "batch was sized by downstream free space");
+                self.handoff_msgs += 1;
+            }
+        }
+    }
+
+    fn assert_conservation(&self) {
+        let mut completed = 0u64;
+        let mut rejected = 0u64;
+        let mut drops = 0u64;
+        let mut shed = 0u64;
+        let mut queued = 0u64;
+        let mut parked = 0u64;
+        for core in &self.cores {
+            completed += core.rep.completed;
+            rejected += core.rep.rejected;
+            drops += core.rep.drops;
+            shed += core.rep.shed;
+            queued += core.entry.len() as u64;
+            parked += core.inbox.len() as u64;
+        }
+        assert_eq!(
+            self.offered,
+            completed + rejected + drops + shed + queued + parked,
+            "multi-core conservation violated: offered {} != completed {completed} + \
+             rejected {rejected} + drops {drops} + shed {shed} + entry-queued {queued} + \
+             hand-off-parked {parked}",
+            self.offered
+        );
+    }
+}
+
+/// One-shot convenience: build, run, report.
+pub fn run_smp(cfg: &SmpConfig, arrivals: &[FlowArrival]) -> SmpOutcome {
+    let mut sim = SmpSim::new(cfg);
+    sim.run(arrivals);
+    sim.outcome(ImpairCounters::default())
+}
+
+/// [`run_smp`] for a stream that went through an impairment channel;
+/// `net` carries the channel's counters into the report.
+pub fn run_smp_impaired(
+    cfg: &SmpConfig,
+    arrivals: &[FlowArrival],
+    net: ImpairCounters,
+) -> SmpOutcome {
+    let mut sim = SmpSim::new(cfg);
+    sim.run(arrivals);
+    sim.outcome(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steer::tag_flows;
+    use ldlp::BatchPolicy;
+    use simnet::traffic::{ConstantSource, TrafficSource};
+
+    fn arrivals(rate_hz: f64, duration_s: f64, flows: u32, seed: u64) -> Vec<FlowArrival> {
+        let raw = ConstantSource::new(1.0 / rate_hz, 552).take_until(duration_s);
+        tag_flows(&raw, flows, seed)
+    }
+
+    fn cfg(cores: usize, dispatch: DispatchPolicy, discipline: Discipline) -> SmpConfig {
+        SmpConfig {
+            duration_s: 0.2,
+            ..SmpConfig::new(cores, dispatch, discipline)
+        }
+    }
+
+    #[test]
+    fn single_core_light_load_completes_everything() {
+        let c = cfg(1, DispatchPolicy::FlowHash, Discipline::Conventional);
+        let arr = arrivals(200.0, 0.2, 8, 1);
+        let out = run_smp(&c, &arr);
+        assert_eq!(out.report.completed, arr.len() as u64);
+        assert_eq!(out.report.drops + out.report.shed, 0);
+        assert!(out.report.conservation_holds());
+        assert_eq!(out.per_core.len(), 1);
+        assert_eq!(out.per_core[0].completed, arr.len() as u64);
+        assert_eq!(out.handoff_msgs, 0, "one core, no hand-offs");
+        // The shared tables were exercised through the fabric.
+        assert!(out.coherence.reads > 0 && out.coherence.writes > 0);
+        // One core: no cross-core transfers, ever.
+        assert_eq!(out.coherence.transfers, 0);
+        assert_eq!(out.coherence.invalidations, 0);
+    }
+
+    #[test]
+    fn full_stack_dispatch_spreads_flows_across_cores() {
+        let c = cfg(4, DispatchPolicy::FlowHash, Discipline::Conventional);
+        let arr = arrivals(2000.0, 0.2, 64, 2);
+        let out = run_smp(&c, &arr);
+        assert!(out.report.conservation_holds());
+        assert_eq!(out.report.completed, arr.len() as u64);
+        let active = out.per_core.iter().filter(|r| r.msgs > 0).count();
+        assert!(active >= 3, "64 flows over 4 cores should hit most cores");
+        // Different cores write the same table slots: coherence traffic.
+        assert!(out.coherence.transfers + out.coherence.invalidations > 0);
+    }
+
+    #[test]
+    fn layer_affinity_pipelines_across_stages() {
+        let c = cfg(
+            4,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        let arr = arrivals(2000.0, 0.2, 16, 3);
+        let n = arr.len() as u64;
+        let out = run_smp(&c, &arr);
+        assert!(out.report.conservation_holds());
+        assert_eq!(out.report.completed, n);
+        // 5 layers over 4 cores: 4 stages, every one of them worked.
+        for s in 0..4 {
+            assert!(out.per_core[s].msgs > 0, "stage {s} idle");
+        }
+        // Every message crossed 3 hand-off boundaries.
+        assert_eq!(out.handoff_msgs, 3 * n);
+        // Completions happen at the last stage only.
+        assert_eq!(out.per_core[3].completed, n);
+        assert_eq!(out.per_core[0].completed, 0);
+    }
+
+    #[test]
+    fn more_cores_than_layers_leaves_extras_idle() {
+        let c = cfg(
+            8,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        let out = run_smp(&c, &arrivals(1000.0, 0.2, 8, 4));
+        assert_eq!(out.per_core.len(), 8);
+        assert!(out.per_core[..5].iter().all(|r| r.msgs > 0));
+        assert!(out.per_core[5..].iter().all(|r| r.msgs == 0));
+    }
+
+    #[test]
+    fn corrupted_messages_reject_at_the_entry_stage() {
+        let mut arr = arrivals(1000.0, 0.2, 8, 5);
+        for a in arr.iter_mut().step_by(10) {
+            a.corrupted = true;
+        }
+        let want_rejected = arr.iter().filter(|a| a.corrupted).count() as u64;
+        let c = cfg(
+            4,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        let out = run_smp(&c, &arr);
+        assert_eq!(out.report.rejected, want_rejected);
+        assert_eq!(out.per_core[0].rejected, want_rejected, "verify is stage 0");
+        assert_eq!(out.report.completed, arr.len() as u64 - want_rejected);
+        assert!(out.report.conservation_holds());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        for dispatch in [
+            DispatchPolicy::FlowHash,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LayerAffinity,
+        ] {
+            let c = cfg(4, dispatch, Discipline::Ldlp(BatchPolicy::DCacheFit));
+            let arr = arrivals(3000.0, 0.2, 32, 6);
+            let a = run_smp(&c, &arr);
+            let b = run_smp(&c, &arr);
+            assert_eq!(a.report, b.report, "{dispatch:?}");
+            assert_eq!(a.per_core, b.per_core, "{dispatch:?}");
+            assert_eq!(a.coherence, b.coherence, "{dispatch:?}");
+        }
+    }
+
+    #[test]
+    fn overload_drops_at_entry_never_mid_pipeline() {
+        let mut c = cfg(
+            2,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        c.buffer_cap = 16;
+        c.handoff_cap = 8;
+        let out = run_smp(&c, &arrivals(60_000.0, 0.2, 16, 7));
+        assert!(out.report.drops > 0, "overload must drop");
+        assert!(out.report.conservation_holds());
+        // Everything admitted made it out the far end: drains are full.
+        assert_eq!(
+            out.report.offered,
+            out.report.completed + out.report.rejected + out.report.drops + out.report.shed
+        );
+    }
+
+    #[test]
+    fn reusing_the_simulator_keeps_accounting_exact() {
+        let c = cfg(
+            4,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        let arr = arrivals(2000.0, 0.2, 16, 8);
+        let mut sim = SmpSim::new(&c);
+        sim.run(&arr);
+        let first = sim.outcome(ImpairCounters::default());
+        sim.run(&arr);
+        let second = sim.outcome(ImpairCounters::default());
+        assert_eq!(first.report.completed, second.report.completed);
+        assert!(second.report.conservation_holds());
+        // Warm caches can only help: the second pass is no slower.
+        assert!(second.report.mean_latency_us <= first.report.mean_latency_us * 1.01);
+    }
+}
