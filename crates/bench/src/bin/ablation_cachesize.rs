@@ -52,7 +52,7 @@ fn run(
                 ..SimConfig::default()
             },
         );
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         report
     })
 }

@@ -35,7 +35,7 @@ fn run(code_bytes: u64, discipline: Discipline, rate: f64, opts: &RunOpts) -> Si
             ..SimConfig::default()
         };
         let report = run_sim(&mut engine, &arrivals, &cfg);
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         report
     })
 }

@@ -25,7 +25,7 @@ fn run(policy: BatchPolicy, rate: f64, opts: &RunOpts) -> SimReport {
             ..SimConfig::default()
         };
         let report = run_sim(&mut engine, &arrivals, &cfg);
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         report
     })
 }

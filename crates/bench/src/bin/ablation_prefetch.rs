@@ -33,7 +33,7 @@ fn run(cfg: MachineConfig, d: Discipline, rate: f64, opts: &RunOpts) -> SimRepor
                 ..SimConfig::default()
             },
         );
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         report
     })
 }

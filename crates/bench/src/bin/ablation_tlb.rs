@@ -36,7 +36,7 @@ fn run(discipline: Discipline, rate: f64, opts: &RunOpts) -> (f64, f64, f64) {
                 ..SimConfig::default()
             },
         );
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         let s = engine.machine().stats();
         let n = r.completed.max(1) as f64;
         (

@@ -49,7 +49,7 @@ fn run(discipline: Discipline, duplex: bool, rate: f64, opts: &RunOpts) -> SimRe
                 ..SimConfig::default()
             },
         );
-        perf::note_replay(&e.machine().replay_stats());
+        perf::note_machine(e.machine());
         report
     })
 }

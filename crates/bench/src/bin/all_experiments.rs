@@ -70,6 +70,10 @@ fn main() {
         let h = perf::json_u64(&fragment, "replay_hits").unwrap_or(0);
         let m = perf::json_u64(&fragment, "replay_misses").unwrap_or(0);
         let b = perf::json_u64(&fragment, "replay_bypasses").unwrap_or(0);
+        let reason = match perf::json_str(&fragment, "bypass_reason") {
+            Some(why) => format!("\"{why}\""),
+            None => "null".to_string(),
+        };
         hits += h;
         misses += m;
         bypasses += b;
@@ -80,7 +84,8 @@ fn main() {
         };
         entries.push(format!(
             "    {{\"name\": \"{bin}\", \"wall_s\": {wall_s:.3}, \"replay_hits\": {h}, \
-             \"replay_misses\": {m}, \"replay_bypasses\": {b}, \"replay_hit_rate\": {rate:.4}}}"
+             \"replay_misses\": {m}, \"replay_bypasses\": {b}, \"bypass_reason\": {reason}, \
+             \"replay_hit_rate\": {rate:.4}}}"
         ));
     }
     let overall = cachesim::ReplayStats {

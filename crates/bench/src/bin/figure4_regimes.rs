@@ -37,7 +37,7 @@ fn run(discipline: Discipline, msg_bytes: u32, opts: &RunOpts) -> SimReport {
             ..SimConfig::default()
         };
         let report = run_sim(&mut engine, &arrivals, &cfg);
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         report
     })
 }

@@ -1,0 +1,55 @@
+//! CI perf-budget gate: reads per-binary perf fragments
+//! (`results/perf/<bin>.json`, written by every experiment binary) and
+//! fails when a memoizable binary's footprint-replay hit rate falls
+//! below the budget. A binary is *memoizable* when its fragment reports
+//! no `bypass_reason` — i.e. no machine in the run was configured out
+//! of the memo (unified cache, board cache) and no sweep ever bypassed
+//! it. Ineligible binaries are reported and skipped: the gate checks
+//! that the memo works where it can, not that every config uses it.
+//!
+//! Usage: `perf_gate <fragment.json>...`
+
+use bench::perf;
+
+/// Memoizable binaries must replay at least this fraction of sweeps.
+const MIN_HIT_RATE: f64 = 0.999;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    assert!(!args.is_empty(), "usage: perf_gate <fragment.json>...");
+    let mut failures = 0usize;
+    for path in &args {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+        let name = perf::json_str(&text, "name").unwrap_or_else(|| path.clone());
+        let hits = perf::json_u64(&text, "replay_hits").unwrap_or(0);
+        let misses = perf::json_u64(&text, "replay_misses").unwrap_or(0);
+        let bypasses = perf::json_u64(&text, "replay_bypasses").unwrap_or(0);
+        if let Some(reason) = perf::json_str(&text, "bypass_reason") {
+            println!("perf_gate: {name}: skipped (bypass reason: {reason})");
+            continue;
+        }
+        let total = hits + misses + bypasses;
+        let rate = if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        if total == 0 {
+            println!("perf_gate: FAIL {name}: memoizable but recorded no replay traffic");
+            failures += 1;
+        } else if rate < MIN_HIT_RATE {
+            println!(
+                "perf_gate: FAIL {name}: replay hit rate {rate:.4} < {MIN_HIT_RATE} \
+                 ({hits} hits / {misses} misses / {bypasses} bypasses)"
+            );
+            failures += 1;
+        } else {
+            println!("perf_gate: OK {name}: replay hit rate {rate:.4} ({total} sweeps)");
+        }
+    }
+    if failures > 0 {
+        eprintln!("perf_gate: {failures} binar(ies) under the replay-hit-rate budget");
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ fn run(discipline: Discipline, pairs_per_s: f64, opts: &RunOpts) -> SimReport {
             ..SimConfig::default()
         };
         let report = run_sim(&mut engine, &arrivals, &cfg);
-        perf::note_replay(&engine.machine().replay_stats());
+        perf::note_machine(engine.machine());
         report
     })
 }

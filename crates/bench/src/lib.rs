@@ -318,16 +318,39 @@ pub mod perf {
 
     use std::path::Path;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
 
     static HITS: AtomicU64 = AtomicU64::new(0);
     static MISSES: AtomicU64 = AtomicU64::new(0);
     static BYPASSES: AtomicU64 = AtomicU64::new(0);
+    /// First bypass reason any harvested machine reported. Stays unset
+    /// when every machine replayed cleanly, so the fragment's
+    /// `bypass_reason` is `null` exactly when `replay_bypasses` is an
+    /// honest zero.
+    static BYPASS_REASON: OnceLock<&'static str> = OnceLock::new();
 
     /// Folds one machine's replay counters into the process totals.
     pub fn note_replay(s: &cachesim::ReplayStats) {
         HITS.fetch_add(s.hits, Ordering::Relaxed);
         MISSES.fetch_add(s.misses, Ordering::Relaxed);
         BYPASSES.fetch_add(s.bypasses, Ordering::Relaxed);
+    }
+
+    /// Folds one machine's replay counters *and* its bypass reason into
+    /// the process totals. Prefer this over [`note_replay`] whenever the
+    /// machine itself is at hand: a config the memoizer can never serve
+    /// (unified cache, board cache) then shows up in the perf fragment
+    /// as a named reason instead of a silent zero.
+    pub fn note_machine(m: &cachesim::Machine) {
+        note_replay(&m.replay_stats());
+        if let Some(why) = m.replay_bypass_reason().or_else(|| m.replay_ineligibility()) {
+            let _ = BYPASS_REASON.set(why);
+        }
+    }
+
+    /// The first bypass reason harvested so far, if any.
+    pub fn bypass_reason() -> Option<&'static str> {
+        BYPASS_REASON.get().copied()
     }
 
     /// The process-wide replay totals accumulated so far.
@@ -342,14 +365,20 @@ pub mod perf {
     /// Renders the fragment JSON for a binary.
     pub fn fragment_json(name: &str, threads: usize) -> String {
         let t = replay_totals();
+        let reason = match bypass_reason() {
+            Some(why) => format!("\"{why}\""),
+            None => "null".to_string(),
+        };
         format!(
             "{{\n  \"name\": \"{}\",\n  \"threads\": {},\n  \"replay_hits\": {},\n  \
-             \"replay_misses\": {},\n  \"replay_bypasses\": {},\n  \"replay_hit_rate\": {:.4}\n}}\n",
+             \"replay_misses\": {},\n  \"replay_bypasses\": {},\n  \"bypass_reason\": {},\n  \
+             \"replay_hit_rate\": {:.4}\n}}\n",
             name,
             threads,
             t.hits,
             t.misses,
             t.bypasses,
+            reason,
             t.hit_rate()
         )
     }
@@ -373,6 +402,17 @@ pub mod perf {
             .find(|c: char| !c.is_ascii_digit())
             .unwrap_or(rest.len());
         rest[..end].parse().ok()
+    }
+
+    /// Pulls a string field out of a fragment; `None` for a `null`
+    /// value or an absent key (same caveats as [`json_u64`]).
+    pub fn json_str(text: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let at = text.find(&pat)? + pat.len();
+        let rest = text[at..].trim_start();
+        let inner = rest.strip_prefix('"')?;
+        let end = inner.find('"')?;
+        inner.get(..end).map(str::to_string)
     }
 }
 
@@ -447,7 +487,7 @@ pub mod sweep {
             ..SimConfig::default()
         };
         let report = run_sim(&mut engine, arrivals, &sim_cfg);
-        crate::perf::note_replay(&engine.machine().replay_stats());
+        crate::perf::note_machine(engine.machine());
         (report, engine.take_sink())
     }
 
@@ -1061,7 +1101,7 @@ pub mod impairments {
             ..SimConfig::default()
         };
         let report = run_sim_impaired(&mut engine, deliveries, &sim_cfg, net);
-        crate::perf::note_replay(&engine.machine().replay_stats());
+        crate::perf::note_machine(engine.machine());
         assert!(
             report.conservation_holds(),
             "conservation violated: {report:?}"

@@ -4,6 +4,12 @@
 //! or miss, never about the data itself. Direct-mapped caches — the paper's
 //! configuration — are the 1-way special case and take a fast path with no
 //! LRU bookkeeping.
+//!
+//! The tag store is one flat `Box<[u64]>` (structure-of-arrays), not a
+//! `Vec` of per-set `Vec`s: every access is a single indexed load from one
+//! contiguous allocation, the direct-mapped sweep loop vectorizes, and
+//! exporting a state for the replay memo (see [`crate::replay`]) is a
+//! plain `clone` of the slice.
 
 use crate::addr::Addr;
 
@@ -97,17 +103,24 @@ impl CacheStats {
     }
 }
 
+/// The tag value of an invalid (empty) way. Line numbers never reach it:
+/// that would require a byte address above 2^64.
+const INVALID: u64 = u64::MAX;
+
 /// A tag-only set-associative cache with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `sets[set][way]` holds the line number (`addr / line_size`) cached in
-    /// that way, or `None` for an invalid way. Ways are kept in LRU order:
-    /// index 0 is most recently used.
-    sets: Vec<Vec<Option<u64>>>,
+    /// `tags[set * ways + way]` holds the line number (`addr / line_size`)
+    /// cached in that way, or [`INVALID`] for an empty way. Ways are kept
+    /// in LRU order: way 0 is most recently used.
+    tags: Box<[u64]>,
     stats: CacheStats,
     line_shift: u32,
     set_mask: u64,
+    /// Whether `num_sets` is a power of two (mask indexing vs modulo).
+    pow2_sets: bool,
+    ways: usize,
 }
 
 impl Cache {
@@ -115,11 +128,14 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
         let num_sets = cfg.num_sets();
+        let ways = cfg.associativity as usize;
         Cache {
-            sets: vec![vec![None; cfg.associativity as usize]; num_sets as usize],
+            tags: vec![INVALID; (num_sets as usize) * ways].into_boxed_slice(),
             stats: CacheStats::default(),
             line_shift: cfg.line_size.trailing_zeros(),
             set_mask: num_sets - 1,
+            pow2_sets: num_sets.is_power_of_two(),
+            ways,
             cfg,
         }
     }
@@ -141,15 +157,12 @@ impl Cache {
 
     /// Invalidates every line (cold cache) without touching the counters.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = None;
-            }
-        }
+        self.tags.fill(INVALID);
     }
 
+    #[inline]
     fn set_index(&self, line: u64) -> usize {
-        if self.set_mask + 1 == self.cfg.num_sets() && (self.set_mask + 1).is_power_of_two() {
+        if self.pow2_sets {
             (line & self.set_mask) as usize
         } else {
             (line % self.cfg.num_sets()) as usize
@@ -167,32 +180,35 @@ impl Cache {
     /// Touches a line identified by its line number (`addr / line_size`).
     pub fn access_line(&mut self, line: u64, kind: AccessKind) -> bool {
         let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
 
         // Fast path for direct-mapped caches: a set is a single way.
-        if set.len() == 1 {
-            // analyze::allow(panic-free-library, reason = "direct-mapped fast path: set.len() == 1 checked on the line above")
-            let hit = set[0] == Some(line);
+        if self.ways == 1 {
+            // analyze::allow(panic-free-library, reason = "set_index is always < num_sets == tags.len() for 1-way geometry")
+            let slot = &mut self.tags[set_idx];
+            let hit = *slot == line;
             if hit {
                 self.stats.hits += 1;
             } else {
-                // analyze::allow(panic-free-library, reason = "direct-mapped fast path: set.len() == 1 checked above")
-                set[0] = Some(line);
+                *slot = line;
                 self.record_miss(kind);
             }
             return hit;
         }
 
-        if let Some(pos) = set.iter().position(|w| *w == Some(line)) {
-            // Hit: move to MRU position.
-            let way = set.remove(pos);
-            set.insert(0, way);
+        let base = set_idx * self.ways;
+        // analyze::allow(panic-free-library, reason = "base + ways <= tags.len() by construction of the flat tag array")
+        let set = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = set.iter().position(|&w| w == line) {
+            // Hit: rotate to the MRU position.
+            set[..=pos].rotate_right(1);
             self.stats.hits += 1;
             true
         } else {
             // Miss: evict LRU (last), insert at MRU.
-            set.pop();
-            set.insert(0, Some(line));
+            set.rotate_right(1);
+            if let Some(mru) = set.first_mut() {
+                *mru = line;
+            }
             self.record_miss(kind);
             false
         }
@@ -206,6 +222,23 @@ impl Cache {
         }
         let first = addr >> self.line_shift;
         let last = (addr + size - 1) >> self.line_shift;
+        // Direct-mapped sweep: one flat compare-and-store per line, with
+        // the per-line counter updates folded into two bulk adds.
+        if self.ways == 1 && self.pow2_sets {
+            let mask = self.set_mask;
+            let mut misses = 0u64;
+            for line in first..=last {
+                // analyze::allow(panic-free-library, reason = "mask keeps the index < num_sets == tags.len()")
+                let slot = &mut self.tags[(line & mask) as usize];
+                if *slot != line {
+                    *slot = line;
+                    misses += 1;
+                }
+            }
+            let total = last - first + 1;
+            self.record_bulk(total - misses, misses, kind);
+            return misses;
+        }
         let mut misses = 0;
         for line in first..=last {
             if !self.access_line(line, kind) {
@@ -215,30 +248,17 @@ impl Cache {
         misses
     }
 
-    /// Flattens the tag array for the replay memo: one `u64` per way,
+    /// The flattened tag array for the replay memo: one `u64` per way,
     /// sets in order, ways MRU-first, invalid ways as `u64::MAX`.
-    pub(crate) fn export_tags(&self) -> Box<[u64]> {
-        let ways = self.cfg.associativity as usize;
-        let mut out = Vec::with_capacity(self.sets.len() * ways);
-        for set in &self.sets {
-            for way in set {
-                out.push(way.unwrap_or(u64::MAX));
-            }
-        }
-        out.into_boxed_slice()
+    pub(crate) fn export_tags(&self) -> &[u64] {
+        &self.tags
     }
 
     /// Restores a tag array captured by [`Cache::export_tags`]. Counters
     /// are untouched.
     pub(crate) fn import_tags(&mut self, tags: &[u64]) {
-        let ways = self.cfg.associativity as usize;
-        debug_assert_eq!(tags.len(), self.sets.len() * ways);
-        for (si, set) in self.sets.iter_mut().enumerate() {
-            for (wi, way) in set.iter_mut().enumerate() {
-                let tag = tags[si * ways + wi];
-                *way = if tag == u64::MAX { None } else { Some(tag) };
-            }
-        }
+        debug_assert_eq!(tags.len(), self.tags.len());
+        self.tags.copy_from_slice(tags);
     }
 
     /// Adds the aggregate outcome of a memoized sweep to the counters,
@@ -258,8 +278,8 @@ impl Cache {
     /// side effects, no stats update).
     pub fn probe(&self, addr: Addr) -> bool {
         let line = addr >> self.line_shift;
-        let set = &self.sets[self.set_index(line)];
-        set.contains(&Some(line))
+        let base = self.set_index(line) * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
     }
 
     fn record_miss(&mut self, kind: AccessKind) {
@@ -346,12 +366,67 @@ mod tests {
     }
 
     #[test]
+    fn four_way_lru_rotation_is_exact() {
+        // Reference-check the rotate-based LRU against the textbook
+        // remove/insert formulation on a dense access pattern.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_size: 32,
+            associativity: 4,
+        });
+        // 4 sets x 4 ways; lines k, k+4, k+8, ... map to set k.
+        let pattern = [0u64, 4, 8, 12, 0, 16, 4, 20, 8, 0, 12, 16, 20, 4];
+        let mut model: Vec<u64> = Vec::new(); // MRU-first model of set 0
+        let mut expect_hits = 0u64;
+        for &line in &pattern {
+            let hit = c.access_line(line, AccessKind::Read);
+            if let Some(pos) = model.iter().position(|&l| l == line) {
+                model.remove(pos);
+                model.insert(0, line);
+                expect_hits += 1;
+                assert!(hit, "model says hit for line {line}");
+            } else {
+                if model.len() == 4 {
+                    model.pop();
+                }
+                model.insert(0, line);
+                assert!(!hit, "model says miss for line {line}");
+            }
+        }
+        assert_eq!(c.stats().hits, expect_hits);
+        for &l in &model {
+            assert!(c.probe(l * 32), "line {l} should be resident");
+        }
+    }
+
+    #[test]
     fn access_range_counts_lines() {
         let mut c = dm_8k();
         // 100 bytes starting at 10 spans lines 0..=3 (4 lines).
         assert_eq!(c.access_range(10, 100, AccessKind::Read), 4);
         assert_eq!(c.access_range(10, 100, AccessKind::Read), 0);
         assert_eq!(c.access_range(0, 0, AccessKind::Read), 0);
+    }
+
+    #[test]
+    fn access_range_matches_per_line_walk() {
+        // The bulk direct-mapped sweep must agree with access_line calls
+        // on both the return value and every counter.
+        let mut bulk = dm_8k();
+        let mut walk = dm_8k();
+        for (base, size) in [(10u64, 100u64), (0, 8192), (4096, 8192), (100, 1)] {
+            let m = bulk.access_range(base, size, AccessKind::Write);
+            let first = base >> 5;
+            let last = (base + size - 1) >> 5;
+            let mut w = 0;
+            for line in first..=last {
+                if !walk.access_line(line, AccessKind::Write) {
+                    w += 1;
+                }
+            }
+            assert_eq!(m, w);
+            assert_eq!(bulk.stats(), walk.stats());
+        }
     }
 
     #[test]

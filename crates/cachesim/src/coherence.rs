@@ -32,7 +32,6 @@
 use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::machine::{CycleCount, Machine};
 use crate::Region;
-use std::collections::BTreeMap;
 
 /// Geometry and fixed costs of the shared level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +96,73 @@ impl CoherenceStats {
     }
 }
 
+/// Lines per directory page: 8 KB of address space at 32-byte lines.
+const OWNER_PAGE_LINES: u64 = 256;
+
+/// Directory byte meaning "never written".
+const NO_OWNER: u8 = u8::MAX;
+
+/// Last-writer directory in a paged structure-of-arrays layout: a sorted
+/// page list parallel to flat 256-byte owner chunks, instead of one
+/// B-tree node chase per line. Shared regions cluster into a handful of
+/// pages (reassembly table, call table, descriptor windows), so a
+/// one-entry page cache catches almost every lookup and the sorted page
+/// list keeps the layout deterministic.
+#[derive(Debug, Clone, Default)]
+struct OwnerDir {
+    /// Sorted page numbers (line >> 8), parallel to `chunks`.
+    pages: Vec<u64>,
+    /// Per-page owner bytes, `NO_OWNER`-filled until written.
+    chunks: Vec<[u8; OWNER_PAGE_LINES as usize]>,
+    /// Index of the last page touched (one-entry lookup cache).
+    last: usize,
+}
+
+impl OwnerDir {
+    /// Index of `page` in the sorted list, fast-pathing the last hit.
+    fn find(&mut self, page: u64) -> Option<usize> {
+        if self.pages.get(self.last) == Some(&page) {
+            return Some(self.last);
+        }
+        let i = self.pages.binary_search(&page).ok()?;
+        self.last = i;
+        Some(i)
+    }
+
+    /// Last writer of `line`, if any.
+    fn get(&mut self, line: u64) -> Option<u8> {
+        let i = self.find(line / OWNER_PAGE_LINES)?;
+        let owner = self
+            .chunks
+            .get(i)
+            .map_or(NO_OWNER, |c| c[(line % OWNER_PAGE_LINES) as usize]);
+        (owner != NO_OWNER).then_some(owner)
+    }
+
+    /// Records `core` as `line`'s writer, returning the previous owner.
+    fn swap(&mut self, line: u64, core: u8) -> Option<u8> {
+        debug_assert_ne!(core, NO_OWNER);
+        let page = line / OWNER_PAGE_LINES;
+        let i = match self.find(page) {
+            Some(i) => i,
+            None => {
+                let i = self.pages.partition_point(|&p| p < page);
+                self.pages.insert(i, page);
+                self.chunks
+                    .insert(i, [NO_OWNER; OWNER_PAGE_LINES as usize]);
+                self.last = i;
+                i
+            }
+        };
+        let slot = self
+            .chunks
+            .get_mut(i)
+            .map(|c| &mut c[(line % OWNER_PAGE_LINES) as usize]);
+        let prev = slot.map_or(NO_OWNER, |s| std::mem::replace(s, core));
+        (prev != NO_OWNER).then_some(prev)
+    }
+}
+
 /// A shared, inclusive second-level cache plus last-writer directory.
 #[derive(Debug, Clone)]
 pub struct SharedL2 {
@@ -104,16 +170,19 @@ pub struct SharedL2 {
     l2: Cache,
     /// Last core to write each line; absent means never written (or
     /// only read so far).
-    owners: BTreeMap<u64, u8>,
+    owners: OwnerDir,
+    line_shift: u32,
     stats: CoherenceStats,
 }
 
 impl SharedL2 {
     /// Builds an empty shared level.
     pub fn new(cfg: SharedL2Config) -> Self {
+        assert!(cfg.l2.line_size.is_power_of_two());
         SharedL2 {
             l2: Cache::new(cfg.l2),
-            owners: BTreeMap::new(),
+            owners: OwnerDir::default(),
+            line_shift: cfg.l2.line_size.trailing_zeros(),
             stats: CoherenceStats::default(),
             cfg,
         }
@@ -141,9 +210,9 @@ impl SharedL2 {
         self.stats.reads += 1;
         let mut stall = 0;
         for addr in region.line_addrs(self.cfg.l2.line_size) {
-            let line = addr / self.cfg.l2.line_size;
+            let line = addr >> self.line_shift;
             stall += self.lookup(line, AccessKind::Read);
-            if let Some(&owner) = self.owners.get(&line) {
+            if let Some(owner) = self.owners.get(line) {
                 if owner != core {
                     self.stats.transfers += 1;
                     stall += self.cfg.transfer_cycles;
@@ -162,9 +231,9 @@ impl SharedL2 {
         self.stats.writes += 1;
         let mut stall = 0;
         for addr in region.line_addrs(self.cfg.l2.line_size) {
-            let line = addr / self.cfg.l2.line_size;
+            let line = addr >> self.line_shift;
             stall += self.lookup(line, AccessKind::Write);
-            match self.owners.insert(line, core) {
+            match self.owners.swap(line, core) {
                 Some(prev) if prev != core => {
                     self.stats.invalidations += 1;
                     stall += self.cfg.invalidate_cycles;

@@ -190,11 +190,23 @@ impl MachineStats {
     }
 }
 
+/// Largest data region (in lines) the replay memo will key; anything
+/// bigger is walked directly. Keeps the packed region key unambiguous.
+const MAX_REGION_LINES: u64 = 1 << 18;
+
 /// A machine instance: caches plus cycle counters.
 ///
 /// The simulators drive it with [`Machine::fetch_code`],
 /// [`Machine::read_data`], [`Machine::write_data`] and
 /// [`Machine::execute`]; it accumulates stall and execution cycles.
+///
+/// Recurring sweeps are answered by two replay memoizers (see
+/// [`crate::replay`]): one over the I-cache + ITLB for code footprints,
+/// one over the D-cache + DTLB for data regions. Both are exact-replay
+/// tables over interned (cache tags ++ TLB entries) states; machines
+/// with a built-in L2 or a unified cache bypass them and simulate
+/// normally (a code or data sweep then touches state shared with the
+/// other reference stream, so per-sweep transitions would not compose).
 #[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
@@ -206,9 +218,27 @@ pub struct Machine {
     l2: Option<Cache>,
     instr_cycles: CycleCount,
     stall_cycles: CycleCount,
-    /// Footprint-replay memo, created lazily on the first
-    /// [`Machine::fetch_code_footprint`] call on an eligible configuration.
+    /// Code-footprint replay memo (I-cache ++ ITLB states), created
+    /// lazily on the first [`Machine::fetch_code_footprint`] call.
     replay: Option<ReplayCache>,
+    /// Data-region replay memo (D-cache ++ DTLB states), created lazily
+    /// on the first [`Machine::read_data`]/[`Machine::write_data`] call
+    /// on an eligible configuration.
+    dreplay: Option<ReplayCache>,
+    /// Scratch buffer for assembling combined state keys.
+    key_buf: Vec<u64>,
+    /// Master switch for both memoizers (tests and benches compare
+    /// memoized against plain simulation with this).
+    replay_enabled: bool,
+    /// Opt-in switch for the data-sweep memo. Off by default: data
+    /// regions vary so much more than code footprints that in the stock
+    /// experiment mix the memo-miss path (exporting and interning a
+    /// multi-KB combined key) costs more than the SoA bulk walk it
+    /// replaces — it only pays on workloads whose (D-state × region)
+    /// graph closes, like a fixed arrival loop replayed many times.
+    data_memo: bool,
+    /// Why sweeps bypassed the memo, when any did (first reason sticks).
+    bypass_reason: Option<&'static str>,
 }
 
 impl Machine {
@@ -223,110 +253,262 @@ impl Machine {
             instr_cycles: 0,
             stall_cycles: 0,
             replay: None,
+            dreplay: None,
+            key_buf: Vec::new(),
+            replay_enabled: true,
+            data_memo: false,
+            bypass_reason: None,
             cfg,
         }
     }
 
-    /// Whether code sweeps on this configuration touch nothing but the
-    /// I-cache, making footprint replay exact: split caches, no ITLB, no
-    /// L2, no next-line prefetch.
-    fn replay_eligible(&self) -> bool {
-        self.itlb.is_none()
-            && self.l2.is_none()
-            && !self.cfg.next_line_prefetch
-            && self.dcache.is_some()
-    }
-
-    /// Materializes the memo's live state (if any) back into the I-cache
-    /// tag array so non-memoized accesses see current contents.
-    fn sync_replay(&mut self) {
-        if let Some(r) = &mut self.replay {
-            if let Some(t) = r.cur.take() {
-                self.icache.import_tags(r.state(t));
-            }
+    /// Why this configuration can never use the replay memoizers, or
+    /// `None` when it is eligible. Sweeps on eligible machines can still
+    /// bypass individually (footprint-id collision, state-table cap).
+    pub fn replay_ineligibility(&self) -> Option<&'static str> {
+        if !self.replay_enabled {
+            Some("memoizer-disabled")
+        } else if self.dcache.is_none() {
+            Some("unified-cache")
+        } else if self.l2.is_some() {
+            Some("l2-configured")
+        } else {
+            None
         }
     }
 
-    /// Fetches every line of a fixed code footprint through the I-cache,
-    /// exactly like calling [`Machine::fetch_code_line`] per line, but
-    /// memoized: the `(cache state, footprint)` outcome is recorded so
-    /// recurring sweeps cost one table lookup. `fid` must identify this
-    /// exact `lines` sequence for the lifetime of the machine; a
-    /// conflicting registration falls back to the per-line walk.
-    /// Returns the misses.
+    /// The first reason any sweep bypassed the memo, if one ever did.
+    pub fn replay_bypass_reason(&self) -> Option<&'static str> {
+        self.bypass_reason
+    }
+
+    /// Enables or disables both replay memoizers. Disabling materializes
+    /// any live memo state first, so simulation continues exactly where
+    /// it was; results are identical either way — only speed changes.
+    pub fn set_replay_enabled(&mut self, on: bool) {
+        if !on {
+            self.sync_replay();
+            self.sync_dreplay();
+        }
+        self.replay_enabled = on;
+    }
+
+    /// Opts this machine's data sweeps into the replay memo. Off by
+    /// default — see the `data_memo` field note: it only pays on
+    /// workloads whose (D-state × region) graph closes.
+    pub fn set_data_memo(&mut self, on: bool) {
+        if !on {
+            self.sync_dreplay();
+        }
+        self.data_memo = on;
+    }
+
+    /// Whether sweeps on this configuration touch only the private
+    /// split L1s (+ their TLBs), making per-sweep replay exact.
+    #[inline]
+    fn memo_eligible(&self) -> bool {
+        self.replay_enabled && self.dcache.is_some() && self.l2.is_none()
+    }
+
+    fn note_bypass_reason(&mut self, reason: &'static str) {
+        if self.bypass_reason.is_none() {
+            self.bypass_reason = Some(reason);
+        }
+    }
+
+    /// Materializes `replay`'s live state token (if any) back into the
+    /// I-cache tag array and ITLB so non-memoized accesses see current
+    /// contents. No-op when the arrays are already authoritative.
+    fn materialize_istate(&mut self, replay: &mut ReplayCache) {
+        let Some(t) = replay.cur.take() else { return };
+        let key = replay.state(t);
+        let cache_words = self.cfg.icache.num_lines() as usize;
+        let (tags, tlb_words) = key.split_at(cache_words.min(key.len()));
+        self.icache.import_tags(tags);
+        if let Some(tlb) = &mut self.itlb {
+            tlb.import_entries(tlb_words);
+        }
+    }
+
+    /// Materializes `dreplay`'s live state token (if any) back into the
+    /// D-cache tag array and DTLB.
+    fn materialize_dstate(&mut self, dreplay: &mut ReplayCache) {
+        let Some(t) = dreplay.cur.take() else { return };
+        let Some(d) = &mut self.dcache else { return };
+        let key = dreplay.state(t);
+        let cache_words = (d.config().num_lines() as usize).min(key.len());
+        let (tags, tlb_words) = key.split_at(cache_words);
+        d.import_tags(tags);
+        if let Some(tlb) = &mut self.dtlb {
+            tlb.import_entries(tlb_words);
+        }
+    }
+
+    /// [`Machine::materialize_istate`] on the owned code memo.
+    fn sync_replay(&mut self) {
+        if let Some(mut r) = self.replay.take() {
+            self.materialize_istate(&mut r);
+            self.replay = Some(r);
+        }
+    }
+
+    /// [`Machine::materialize_dstate`] on the owned data memo.
+    fn sync_dreplay(&mut self) {
+        if let Some(mut r) = self.dreplay.take() {
+            self.materialize_dstate(&mut r);
+            self.dreplay = Some(r);
+        }
+    }
+
+    /// Assembles the current I-side combined key (I-cache tags ++ ITLB
+    /// entries) into `key_buf`.
+    fn build_ikey(&mut self) {
+        self.key_buf.clear();
+        self.key_buf.extend_from_slice(self.icache.export_tags());
+        if let Some(tlb) = &self.itlb {
+            tlb.export_entries(&mut self.key_buf);
+        }
+    }
+
+    /// Assembles the current D-side combined key (D-cache tags ++ DTLB
+    /// entries) into `key_buf`.
+    fn build_dkey(&mut self) {
+        self.key_buf.clear();
+        if let Some(d) = &self.dcache {
+            self.key_buf.extend_from_slice(d.export_tags());
+        }
+        if let Some(tlb) = &self.dtlb {
+            tlb.export_entries(&mut self.key_buf);
+        }
+    }
+
+    /// Fetches every line of a fixed code footprint, exactly like calling
+    /// [`Machine::fetch_code_line`] per line, but memoized: the
+    /// `(cache+TLB state, footprint)` outcome is recorded so recurring
+    /// sweeps cost one table lookup. `fid` must identify this exact
+    /// `lines` sequence for the lifetime of the machine; a conflicting
+    /// registration falls back to the per-line walk. Returns the misses.
     pub fn fetch_code_footprint(&mut self, fid: u32, lines: &[u64]) -> u64 {
         if lines.is_empty() {
             return 0;
         }
-        if !self.replay_eligible() {
-            if let Some(r) = &mut self.replay {
-                r.stats_mut().bypasses += 1;
+        if !self.memo_eligible() {
+            if let Some(why) = self.replay_ineligibility() {
+                self.note_bypass_reason(why);
             }
+            self.replay.get_or_insert_default().stats_mut().bypasses += 1;
             self.sync_replay();
             return self.fetch_lines_walk(lines);
         }
-        let replay = self.replay.get_or_insert_with(ReplayCache::default);
+        // Move the memo out of its Option for the duration of the sweep so
+        // the borrow checker lets it ride alongside cache/TLB mutation.
+        let mut replay = self.replay.take().unwrap_or_default();
+        let ret = self.fetch_footprint_memo(&mut replay, fid, lines);
+        self.replay = Some(replay);
+        ret
+    }
+
+    /// The memoized body of [`Machine::fetch_code_footprint`]: replay the
+    /// recorded `(state, footprint)` transition when known, otherwise walk
+    /// once while diffing every counter and record the outcome.
+    fn fetch_footprint_memo(&mut self, replay: &mut ReplayCache, fid: u32, lines: &[u64]) -> u64 {
         if !replay.check_footprint(fid, lines) {
             replay.stats_mut().bypasses += 1;
-            self.sync_replay();
+            self.note_bypass_reason("footprint-collision");
+            self.materialize_istate(replay);
             return self.fetch_lines_walk(lines);
         }
         let cur = match replay.cur {
             Some(t) => t,
             None => {
-                let tags = self.icache.export_tags();
-                replay.intern(tags)
+                if replay.saturated() {
+                    // Table full and the live state is already in the
+                    // arrays: don't even try to re-intern per sweep.
+                    replay.stats_mut().bypasses += 1;
+                    self.note_bypass_reason("state-table-full");
+                    return self.fetch_lines_walk(lines);
+                }
+                self.build_ikey();
+                match replay.intern(&self.key_buf) {
+                    Some(t) => t,
+                    None => {
+                        replay.stats_mut().bypasses += 1;
+                        self.note_bypass_reason("state-table-full");
+                        return self.fetch_lines_walk(lines);
+                    }
+                }
             }
         };
         if let Some(tr) = replay.lookup(cur, fid) {
             replay.stats_mut().hits += 1;
             replay.cur = Some(tr.next);
-            self.icache
-                .record_bulk(lines.len() as u64 - tr.misses, tr.misses, AccessKind::InstrFetch);
-            self.stall_cycles += tr.misses * self.cfg.read_miss_penalty;
-            return tr.misses;
+            self.icache.record_bulk(tr.hits, tr.misses, AccessKind::InstrFetch);
+            if let Some(tlb) = &mut self.itlb {
+                tlb.record_bulk(tr.tlb_hits, tr.tlb_misses);
+            }
+            self.stall_cycles += tr.stall;
+            return tr.ret;
         }
-        // Memo miss: make the tag array reflect `cur`, walk for real,
+        // Memo miss: make the arrays reflect `cur` (no-op when it was just
+        // interned from them), walk for real while diffing the counters,
         // record the outcome.
         replay.stats_mut().misses += 1;
-        if replay.cur.take().is_some() {
-            self.icache.import_tags(replay.state(cur));
+        self.materialize_istate(replay);
+        let c0 = *self.icache.stats();
+        let t0 = self.itlb.as_ref().map(|t| *t.stats()).unwrap_or_default();
+        let s0 = self.stall_cycles;
+        let ret = self.fetch_lines_walk(lines);
+        let c1 = *self.icache.stats();
+        let t1 = self.itlb.as_ref().map(|t| *t.stats()).unwrap_or_default();
+        let tr = Transition {
+            ret,
+            hits: c1.hits - c0.hits,
+            misses: c1.misses - c0.misses,
+            tlb_hits: t1.hits - t0.hits,
+            tlb_misses: t1.misses - t0.misses,
+            stall: self.stall_cycles - s0,
+            next: 0,
+        };
+        self.build_ikey();
+        if let Some(next) = replay.intern(&self.key_buf) {
+            replay.insert(cur, fid, Transition { next, ..tr });
+            replay.cur = Some(next);
         }
-        let mut misses = 0;
-        for &line in lines {
-            if !self.icache.access_line(line, AccessKind::InstrFetch) {
-                misses += 1;
-                self.stall_cycles += self.cfg.read_miss_penalty;
-            }
-        }
-        // analyze::allow(panic-free-library, reason = "replay was created (or confirmed Some) at the top of this function; re-borrowed here to satisfy the borrow checker")
-        let replay = self.replay.as_mut().expect("created above");
-        let next = replay.intern(self.icache.export_tags());
-        replay.insert(cur, fid, Transition { misses, next });
-        replay.cur = Some(next);
-        misses
+        ret
     }
 
     /// Per-line code fetch of `lines` through the full (non-memoized)
-    /// path.
+    /// path. Callers must have materialized any live memo state first.
     fn fetch_lines_walk(&mut self, lines: &[u64]) -> u64 {
         let mut misses = 0;
         for &line in lines {
-            if !self.fetch_code_line(line) {
+            if !self.fetch_line_inner(line) {
                 misses += 1;
             }
         }
         misses
     }
 
-    /// Counters of the footprint-replay memo (zero if never used).
+    /// Counters of both replay memos combined (zero if never used).
     pub fn replay_stats(&self) -> ReplayStats {
-        self.replay.as_ref().map(|r| r.stats()).unwrap_or_default()
+        let mut s = self.replay.as_ref().map(|r| r.stats()).unwrap_or_default();
+        if let Some(d) = &self.dreplay {
+            s.merge(&d.stats());
+        }
+        s
     }
 
-    /// Counter-and-size snapshot of the footprint-replay memo.
+    /// Counter-and-size snapshot of both replay memos combined.
     pub fn replay_report(&self) -> ReplayReport {
-        self.replay.as_ref().map(|r| r.report()).unwrap_or_default()
+        let mut r = self.replay.as_ref().map(|r| r.report()).unwrap_or_default();
+        if let Some(d) = &self.dreplay {
+            let dr = d.report();
+            r.stats.merge(&dr.stats);
+            r.states += dr.states;
+            r.transitions += dr.transitions;
+            r.footprints += dr.footprints;
+        }
+        r
     }
 
     /// The configuration this machine was built with.
@@ -397,6 +579,12 @@ impl Machine {
     /// Fetches a single I-cache line by line number.
     pub fn fetch_code_line(&mut self, line: u64) -> bool {
         self.sync_replay();
+        self.fetch_line_inner(line)
+    }
+
+    /// [`Machine::fetch_code_line`] without the memo sync: the walk body
+    /// shared by the public per-line API and the memo-miss recorder.
+    fn fetch_line_inner(&mut self, line: u64) -> bool {
         if let Some(tlb) = &mut self.itlb {
             let line_size = self.cfg.icache.line_size;
             if !tlb.access(line * line_size) {
@@ -429,62 +617,148 @@ impl Machine {
     /// Loads every line of `region` through the D-cache (or unified cache),
     /// charging the read-miss penalty per miss. Returns the misses.
     pub fn read_data(&mut self, region: Region) -> u64 {
-        if self.dcache.is_none() {
-            // Unified cache: data accesses touch the memo's cache.
-            self.sync_replay();
-        }
-        if let Some(tlb) = &mut self.dtlb {
-            let refills = tlb.access_range(region.base, region.len);
-            self.stall_cycles += refills * tlb.config().refill_penalty;
-        }
-        let penalty = self.cfg.read_miss_penalty;
-        if self.l2.is_some() {
-            let line_size = self.cfg.icache.line_size;
-            let mut misses = 0;
-            for line_addr in region.line_addrs(line_size) {
-                let line = line_addr / line_size;
-                let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
-                if !cache.access_line(line, AccessKind::Read) {
-                    misses += 1;
-                    self.stall_cycles += penalty;
-                    self.l2_fill(line, AccessKind::Read);
-                }
-            }
-            return misses;
-        }
-        let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
-        let misses = cache.access_range(region.base, region.len, AccessKind::Read);
-        self.stall_cycles += misses * penalty;
-        misses
+        self.data_sweep(region, AccessKind::Read)
     }
 
     /// Stores to every line of `region` (write-allocate), charging the
     /// write-miss penalty per miss. Returns the misses.
     pub fn write_data(&mut self, region: Region) -> u64 {
+        self.data_sweep(region, AccessKind::Write)
+    }
+
+    /// One data sweep over `region`, memoized on eligible configurations
+    /// exactly like [`Machine::fetch_code_footprint`]: the region's line
+    /// range + kind is the footprint, the D-cache ++ DTLB state is the
+    /// key, and the recorded transition replays the walk's full
+    /// accounting (cache stats, TLB refills, stall cycles).
+    fn data_sweep(&mut self, region: Region, kind: AccessKind) -> u64 {
+        if region.len == 0 {
+            return 0;
+        }
+        if !self.data_memo {
+            return self.data_sweep_walk(region, kind);
+        }
+        if !self.memo_eligible() {
+            if let Some(why) = self.replay_ineligibility() {
+                self.note_bypass_reason(why);
+            }
+            self.dreplay.get_or_insert_default().stats_mut().bypasses += 1;
+            return self.data_sweep_walk(region, kind);
+        }
+        let mut dreplay = self.dreplay.take().unwrap_or_default();
+        let ret = self.data_sweep_memo(&mut dreplay, region, kind);
+        self.dreplay = Some(dreplay);
+        ret
+    }
+
+    /// The memoized body of [`Machine::data_sweep`], mirroring
+    /// [`Machine::fetch_footprint_memo`] with the region's packed line
+    /// range + kind standing in for a footprint id.
+    fn data_sweep_memo(&mut self, dreplay: &mut ReplayCache, region: Region, kind: AccessKind) -> u64 {
+        let line_size = self.cfg.icache.line_size;
+        let first = region.base / line_size;
+        let n_lines = (region.base + region.len - 1) / line_size - first + 1;
+        if n_lines >= MAX_REGION_LINES || first >= (1 << 44) {
+            dreplay.stats_mut().bypasses += 1;
+            self.note_bypass_reason("oversized-region");
+            self.materialize_dstate(dreplay);
+            return self.data_sweep_walk(region, kind);
+        }
+        let kind_code = match kind {
+            AccessKind::Read => 0u64,
+            AccessKind::Write => 1,
+            AccessKind::InstrFetch => 2,
+        };
+        let packed = (first << 20) | (n_lines << 2) | kind_code;
+        let fid = dreplay.region_fid(packed);
+        let cur = match dreplay.cur {
+            Some(t) => t,
+            None => {
+                if dreplay.saturated() {
+                    dreplay.stats_mut().bypasses += 1;
+                    self.note_bypass_reason("state-table-full");
+                    return self.data_sweep_walk(region, kind);
+                }
+                self.build_dkey();
+                match dreplay.intern(&self.key_buf) {
+                    Some(t) => t,
+                    None => {
+                        dreplay.stats_mut().bypasses += 1;
+                        self.note_bypass_reason("state-table-full");
+                        return self.data_sweep_walk(region, kind);
+                    }
+                }
+            }
+        };
+        if let Some(tr) = dreplay.lookup(cur, fid) {
+            dreplay.stats_mut().hits += 1;
+            dreplay.cur = Some(tr.next);
+            if let Some(d) = &mut self.dcache {
+                d.record_bulk(tr.hits, tr.misses, kind);
+            }
+            if let Some(tlb) = &mut self.dtlb {
+                tlb.record_bulk(tr.tlb_hits, tr.tlb_misses);
+            }
+            self.stall_cycles += tr.stall;
+            return tr.ret;
+        }
+        dreplay.stats_mut().misses += 1;
+        self.materialize_dstate(dreplay);
+        let c0 = self.dcache.as_ref().map(|d| *d.stats()).unwrap_or_default();
+        let t0 = self.dtlb.as_ref().map(|t| *t.stats()).unwrap_or_default();
+        let s0 = self.stall_cycles;
+        let ret = self.data_sweep_walk(region, kind);
+        let c1 = self.dcache.as_ref().map(|d| *d.stats()).unwrap_or_default();
+        let t1 = self.dtlb.as_ref().map(|t| *t.stats()).unwrap_or_default();
+        let tr = Transition {
+            ret,
+            hits: c1.hits - c0.hits,
+            misses: c1.misses - c0.misses,
+            tlb_hits: t1.hits - t0.hits,
+            tlb_misses: t1.misses - t0.misses,
+            stall: self.stall_cycles - s0,
+            next: 0,
+        };
+        self.build_dkey();
+        if let Some(next) = dreplay.intern(&self.key_buf) {
+            dreplay.insert(cur, fid, Transition { next, ..tr });
+            dreplay.cur = Some(next);
+        }
+        ret
+    }
+
+    /// The non-memoized data sweep: the full path including the unified-
+    /// cache and L2 variants. Callers on the memoized path must have
+    /// materialized any live D-memo state first.
+    fn data_sweep_walk(&mut self, region: Region, kind: AccessKind) -> u64 {
         if self.dcache.is_none() {
+            // Unified cache: data accesses touch the code memo's cache.
             self.sync_replay();
         }
         if let Some(tlb) = &mut self.dtlb {
             let refills = tlb.access_range(region.base, region.len);
             self.stall_cycles += refills * tlb.config().refill_penalty;
         }
-        let penalty = self.cfg.write_miss_penalty;
+        let penalty = match kind {
+            AccessKind::Write => self.cfg.write_miss_penalty,
+            _ => self.cfg.read_miss_penalty,
+        };
         if self.l2.is_some() {
             let line_size = self.cfg.icache.line_size;
             let mut misses = 0;
             for line_addr in region.line_addrs(line_size) {
                 let line = line_addr / line_size;
                 let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
-                if !cache.access_line(line, AccessKind::Write) {
+                if !cache.access_line(line, kind) {
                     misses += 1;
                     self.stall_cycles += penalty;
-                    self.l2_fill(line, AccessKind::Write);
+                    self.l2_fill(line, kind);
                 }
             }
             return misses;
         }
         let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
-        let misses = cache.access_range(region.base, region.len, AccessKind::Write);
+        let misses = cache.access_range(region.base, region.len, kind);
         self.stall_cycles += misses * penalty;
         misses
     }
@@ -494,6 +768,7 @@ impl Machine {
         if self.dcache.is_none() {
             self.sync_replay();
         }
+        self.sync_dreplay();
         let penalty = self.cfg.read_miss_penalty;
         let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
         let hit = cache.access_line(line, AccessKind::Read);
@@ -505,13 +780,12 @@ impl Machine {
 
     /// Invalidates both primary caches (cold start) without resetting
     /// counters; the L2 (when configured) keeps its contents, as a warm
-    /// board cache would across a context switch.
+    /// board cache would across a context switch. TLB contents survive
+    /// (flushing those is [`Machine::flush_tlbs`]' job), so any live
+    /// memo state is materialized first.
     pub fn flush_caches(&mut self) {
-        // The flush overwrites whatever state the memo held live; just
-        // drop the token rather than materializing doomed contents.
-        if let Some(r) = &mut self.replay {
-            r.cur = None;
-        }
+        self.sync_replay();
+        self.sync_dreplay();
         self.icache.flush();
         if let Some(d) = &mut self.dcache {
             d.flush();
@@ -527,7 +801,11 @@ impl Machine {
     }
 
     /// Invalidates the TLBs (context switch) without resetting counters.
+    /// Cache contents survive, so any live memo state is materialized
+    /// first.
     pub fn flush_tlbs(&mut self) {
+        self.sync_replay();
+        self.sync_dreplay();
         if let Some(t) = &mut self.itlb {
             t.flush();
         }
@@ -595,6 +873,7 @@ impl Machine {
 
     /// Direct access to the D-cache; `None` on unified configurations.
     pub fn dcache(&mut self) -> Option<&mut Cache> {
+        self.sync_dreplay();
         self.dcache.as_mut()
     }
 }
@@ -646,6 +925,7 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.fetch_code(Region::new(0, 32));
         assert_eq!(m.read_data(Region::new(0, 32)), 0, "unified: code fetch warmed the line");
+        assert_eq!(m.replay_ineligibility(), Some("unified-cache"));
     }
 
     #[test]
@@ -767,6 +1047,7 @@ mod tests {
         let cfg = MachineConfig::synthetic_benchmark();
         let mut memo = Machine::new(cfg);
         let mut walk = Machine::new(cfg);
+        walk.set_replay_enabled(false);
         // Three footprints that conflict in an 8 KB / 32 B I-cache.
         let fp: Vec<Vec<u64>> = vec![
             (0..192).collect(),                  // 6 KB at line 0
@@ -792,6 +1073,7 @@ mod tests {
             // Interleave data traffic (separate cache, must not disturb).
             memo.read_data(Region::new(0x9000, 256));
             walk.read_data(Region::new(0x9000, 256));
+            assert_eq!(memo.stats().dcache, walk.stats().dcache);
             if step == 7 {
                 memo.flush_caches();
                 walk.flush_caches();
@@ -804,7 +1086,97 @@ mod tests {
         }
         let s = memo.replay_stats();
         assert!(s.hits > 0, "recurring schedule must produce memo hits");
-        assert_eq!(walk.replay_stats().accesses(), 0);
+        assert_eq!(walk.replay_stats().hits, 0);
+    }
+
+    /// The TLB-keyed equivalent: random footprints over a machine with
+    /// Alpha TLBs, memoized vs memoizer-disabled, must agree on every
+    /// counter — icache, dcache, ITLB, DTLB, stalls — at every step.
+    #[test]
+    fn tlb_keyed_replay_matches_disabled_run() {
+        let cfg = MachineConfig::synthetic_benchmark().with_alpha_tlbs();
+        let mut memo = Machine::new(cfg);
+        memo.set_data_memo(true);
+        let mut walk = Machine::new(cfg);
+        walk.set_replay_enabled(false);
+        // Deterministic xorshift for "random" footprints and regions.
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        // 8 footprints spanning several pages each (so the ITB matters).
+        let fps: Vec<Vec<u64>> = (0..8)
+            .map(|_| {
+                let base = next() % 4096;
+                let len = 32 + next() % 160;
+                (base..base + len).collect()
+            })
+            .collect();
+        for step in 0..400 {
+            let f = (next() % fps.len() as u64) as usize;
+            let a = memo.fetch_code_footprint(f as u32, &fps[f]);
+            let b = walk.fetch_code_footprint(f as u32, &fps[f]);
+            assert_eq!(a, b, "code misses diverged at step {step}");
+            // Random data sweeps, read or write, random slots.
+            let base = 0x10_0000 + (next() % 64) * 1536;
+            let len = 32 + next() % 1504;
+            if next() % 4 == 0 {
+                assert_eq!(
+                    memo.write_data(Region::new(base, len)),
+                    walk.write_data(Region::new(base, len)),
+                    "write misses diverged at step {step}"
+                );
+            } else {
+                assert_eq!(
+                    memo.read_data(Region::new(base, len)),
+                    walk.read_data(Region::new(base, len)),
+                    "read misses diverged at step {step}"
+                );
+            }
+            if step % 97 == 0 {
+                memo.flush_tlbs();
+                walk.flush_tlbs();
+            }
+            if step % 151 == 0 {
+                memo.flush_caches();
+                walk.flush_caches();
+            }
+            let (sm, sw) = (memo.stats(), walk.stats());
+            assert_eq!(sm.icache, sw.icache, "icache diverged at step {step}");
+            assert_eq!(sm.dcache, sw.dcache, "dcache diverged at step {step}");
+            assert_eq!(sm.itlb, sw.itlb, "itlb diverged at step {step}");
+            assert_eq!(sm.dtlb, sw.dtlb, "dtlb diverged at step {step}");
+            assert_eq!(sm.stall_cycles, sw.stall_cycles, "stalls diverged at step {step}");
+        }
+        assert!(memo.replay_stats().hits > 0, "the schedule must replay");
+        assert_eq!(walk.replay_stats().hits, 0);
+        assert_eq!(walk.replay_bypass_reason(), Some("memoizer-disabled"));
+    }
+
+    /// Prefetch configurations are memoizable too: the install is a pure
+    /// function of the I-cache state.
+    #[test]
+    fn prefetch_replay_matches_disabled_run() {
+        let cfg = MachineConfig::synthetic_benchmark().with_prefetch();
+        let mut memo = Machine::new(cfg);
+        let mut walk = Machine::new(cfg);
+        walk.set_replay_enabled(false);
+        let fps: Vec<Vec<u64>> = (0..4).map(|i| (i * 100..i * 100 + 150).collect()).collect();
+        for step in 0..100 {
+            let f = step % fps.len();
+            assert_eq!(
+                memo.fetch_code_footprint(f as u32, &fps[f]),
+                walk.fetch_code_footprint(f as u32, &fps[f]),
+                "diverged at step {step}"
+            );
+            let (sm, sw) = (memo.stats(), walk.stats());
+            assert_eq!(sm.icache, sw.icache);
+            assert_eq!(sm.stall_cycles, sw.stall_cycles);
+        }
+        assert!(memo.replay_stats().hits > 0, "prefetch sweeps must replay");
     }
 
     #[test]
@@ -828,13 +1200,37 @@ mod tests {
     }
 
     #[test]
+    fn data_replay_steady_state_hits() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark().with_alpha_tlbs());
+        m.set_data_memo(true);
+        for lap in 0..100u64 {
+            for slot in 0..8u64 {
+                m.read_data(Region::new(0x10_0000 + slot * 1536, 552));
+                m.write_data(Region::new(0x20_0000 + slot * 64, 58));
+            }
+            let _ = lap;
+        }
+        let s = m.replay_stats();
+        assert!(
+            s.hit_rate() > 0.9,
+            "steady-state data hit rate {:.3} should approach 1",
+            s.hit_rate()
+        );
+    }
+
+    #[test]
     fn footprint_replay_bypasses_ineligible_configs() {
-        // Prefetch makes code sweeps touch more than the swept lines.
-        let mut m = Machine::new(MachineConfig::synthetic_benchmark().with_prefetch());
+        // A built-in L2 makes sweeps touch state shared between the code
+        // and data streams: both memos must stand aside, and say why.
+        let mut m = Machine::new(MachineConfig::dec3000_400().with_board_cache());
+        m.set_data_memo(true);
         let fp: Vec<u64> = (0..64).collect();
         m.fetch_code_footprint(0, &fp);
         m.fetch_code_footprint(0, &fp);
+        m.read_data(Region::new(0x9000, 256));
         assert_eq!(m.replay_stats().hits, 0);
+        assert_eq!(m.replay_stats().bypasses, 3, "every sweep counted");
+        assert_eq!(m.replay_bypass_reason(), Some("l2-configured"));
         // And the fetches still happened.
         assert!(m.stats().icache.fetch_misses > 0);
 
@@ -845,6 +1241,7 @@ mod tests {
         let misses = m.fetch_code_footprint(0, &other);
         assert_eq!(misses, 64, "collision path still simulates correctly");
         assert_eq!(m.replay_stats().bypasses, 1);
+        assert_eq!(m.replay_bypass_reason(), Some("footprint-collision"));
     }
 
     #[test]
@@ -855,6 +1252,22 @@ mod tests {
         m.fetch_code_footprint(0, &fp); // memo hit: tag array now stale
         assert!(m.icache().probe(0), "icache() must materialize first");
         assert!(!m.icache().probe(100 * 32));
+    }
+
+    #[test]
+    fn data_replay_survives_probe_after_hit() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        m.set_data_memo(true);
+        m.read_data(Region::new(0x40_0000, 256));
+        m.flush_caches();
+        m.read_data(Region::new(0x40_0000, 256));
+        m.flush_caches();
+        m.read_data(Region::new(0x40_0000, 256)); // memo hit: tags stale
+        assert!(m.replay_stats().hits > 0);
+        assert!(
+            m.dcache().expect("split config").probe(0x40_0000),
+            "dcache() must materialize first"
+        );
     }
 
     #[test]

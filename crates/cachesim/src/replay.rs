@@ -1,68 +1,160 @@
-//! Memoized replay of instruction-fetch footprints.
+//! Memoized replay of recurring cache sweeps.
 //!
-//! The layer engines sweep the same code footprints over the I-cache
-//! millions of times per simulated second, and the resulting misses are a
-//! pure function of (footprint, I-cache state before the sweep): a
-//! set-associative LRU cache has no other inputs. This module exploits
-//! that by interning whole I-cache tag states and recording, per
-//! `(state, footprint)` pair, the miss count and successor state. Once a
-//! pair has been seen, replaying the footprint costs one table lookup
-//! instead of one `access_line` walk per code line — and because the
-//! simulated workloads drive the cache through a short cycle of recurring
-//! states, the steady-state hit rate approaches 100%.
+//! The layer engines sweep the same code footprints and data regions over
+//! the primary caches millions of times per simulated second, and the
+//! resulting misses are a pure function of (sweep, cache-and-TLB state
+//! before it): a set-associative LRU cache has no other inputs, and
+//! neither does a fully-associative LRU TLB. This module exploits that by
+//! interning whole tag states — the cache's flattened tag array
+//! concatenated with the TLB's entry list, when one is configured — and
+//! recording, per `(state, footprint)` pair, the complete outcome: the
+//! hit/miss/stall deltas and the successor state. Once a pair has been
+//! seen, replaying the sweep costs one table lookup instead of one
+//! `access_line` walk per line — and because the simulated workloads
+//! drive the caches through a short cycle of recurring states, the
+//! steady-state hit rate approaches 100%.
+//!
+//! A [`crate::Machine`] owns up to two of these: one over the I-cache
+//! (+ ITLB) for code-footprint sweeps, one over the D-cache (+ DTLB) for
+//! data-region sweeps. Code footprints are explicit line lists registered
+//! under caller-chosen ids; data regions self-register through
+//! [`ReplayCache::region_fid`], keyed by their exact line range and
+//! access kind (two byte regions covering the same lines and kind are
+//! the same sweep — the model only sees lines and pages).
 //!
 //! Correctness notes:
 //! * Keys are **exact** tag states (not hashes of them), so a lookup hit
 //!   can never be a collision.
-//! * Between memoized sweeps the cache's backing tag array is allowed to
-//!   go stale; [`ReplayCache::cur`] remembers which interned state is
-//!   live. Any non-memoized touch of the cache must first materialize
-//!   that state back into the array (the machine layer does this).
-//! * Memoization is only used for machine configurations where a code
-//!   sweep touches nothing but the I-cache — no ITLB, no L2, no
-//!   next-line prefetch, split caches. Anything else bypasses the memo
-//!   and simulates normally.
+//! * Between memoized sweeps the backing tag arrays are allowed to go
+//!   stale; [`ReplayCache::cur`] remembers which interned state is live.
+//!   Any non-memoized touch of the cache or TLB must first materialize
+//!   that state back into the arrays (the machine layer does this).
+//! * Transitions are recorded as before/after counter *deltas* of a real
+//!   walk, so a replay hit reproduces the walk's accounting exactly —
+//!   including prefetch installs and TLB refills.
+//! * The state table is capacity-bounded: once the interner is full, new
+//!   states are no longer recorded and those sweeps fall back to the
+//!   walk (counted as bypasses), so a workload with unbounded state
+//!   cardinality degrades to plain simulation instead of exhausting
+//!   memory.
 
 use crate::stats::{ReplayReport, ReplayStats};
-// The memoizer's maps are lookup-only (get/insert, never iterated), so
-// hash order can't leak into any simulated outcome, and O(1) probes are
-// what make the >99.9%-hit-rate replay path cheap. See the matching
-// field-level justifications below.
-// analyze::allow(nondeterminism, reason = "lookup-only memoization maps; iteration order never observed; hashing is the hot path")
+use std::collections::BTreeMap;
+use std::hash::{BuildHasherDefault, Hasher};
+// The memoizer's state interner is lookup-only (get/insert, never
+// iterated) and uses a fixed-seed hasher, so not even its internal order
+// varies between processes; O(1) probes are what make the >99.9%-hit-rate
+// replay path cheap.
+// analyze::allow(nondeterminism, reason = "lookup-only interning map with a fixed-seed deterministic hasher; iteration order never observed")
 #[allow(clippy::disallowed_types)]
-use std::collections::HashMap;
+type FxMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
-/// The memoized outcome of sweeping one footprint from one state.
+/// A fixed-seed multiply-rotate hasher (the rustc `FxHash` construction).
+/// Deterministic across processes and platforms — unlike `RandomState` —
+/// and much cheaper than SipHash on the multi-kilobyte state keys the
+/// interner hashes on every memo miss.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The memoized outcome of one sweep from one state: the counter deltas
+/// a real walk produced, plus the interned successor state.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Transition {
-    /// Misses incurred by the sweep.
+    /// The walk's return value (demand misses).
+    pub ret: u64,
+    /// Cache hits incurred by the sweep.
+    pub hits: u64,
+    /// Cache misses incurred by the sweep (including prefetch installs).
     pub misses: u64,
-    /// Interned token of the resulting cache state.
+    /// TLB hits incurred by the sweep (zero without a TLB).
+    pub tlb_hits: u64,
+    /// TLB refills incurred by the sweep (zero without a TLB).
+    pub tlb_misses: u64,
+    /// Stall cycles charged by the sweep (miss penalties + TLB refills).
+    pub stall: u64,
+    /// Interned token of the resulting combined state.
     pub next: u32,
 }
 
-/// A transition table over interned I-cache states.
+/// One interned state and every transition recorded out of it. The
+/// per-state transition lists are tiny (a deterministic simulation takes
+/// only a handful of distinct sweeps out of any given state), so a
+/// sorted Vec beats hashing the `(state, fid)` pair.
+#[derive(Debug, Clone)]
+struct StateEntry {
+    /// The combined tag state: cache tags (sets in order, ways
+    /// MRU-first) followed by TLB entries (MRU-first, `u64::MAX`-padded),
+    /// when a TLB is part of the key.
+    key: Box<[u64]>,
+    /// `(footprint id, outcome)`, sorted by footprint id.
+    transitions: Vec<(u32, Transition)>,
+}
+
+/// Total bytes of interned state keys a single replay cache may hold
+/// (counting the interner's duplicate copy). Beyond this the memoizer
+/// stops learning new states and falls back to plain simulation.
+const MAX_STATE_BYTES: usize = 48 << 20;
+
+/// A transition table over interned cache(+TLB) states.
 ///
 /// Owned by a [`crate::Machine`]; see [`crate::Machine::fetch_code_footprint`].
 #[derive(Debug, Clone, Default)]
 pub struct ReplayCache {
-    /// Interned tag states; index = token. Ways are stored MRU-first,
-    /// invalid ways as `u64::MAX` (line numbers never reach that value:
-    /// it would require a byte address above 2^64).
-    states: Vec<Box<[u64]>>,
-    /// Exact-state interning map.
-    // analyze::allow(nondeterminism, reason = "get/insert only; never iterated, so hash order cannot affect outputs")
-    #[allow(clippy::disallowed_types)]
-    intern: HashMap<Box<[u64]>, u32>,
-    /// Registered footprints; index = footprint id.
+    /// Interned states; index = token.
+    states: Vec<StateEntry>,
+    /// Exact-state interning map (fixed-seed hasher, see [`FxHasher`]).
+    intern: FxMap<Box<[u64]>, u32>,
+    /// Registered code footprints; index = footprint id.
     footprints: Vec<Vec<u64>>,
-    /// `(state token, footprint id) -> outcome`.
-    // analyze::allow(nondeterminism, reason = "get/insert only; never iterated, so hash order cannot affect outputs")
-    #[allow(clippy::disallowed_types)]
-    transitions: HashMap<(u32, u32), Transition>,
-    /// Token of the cache state currently live, when known. `None` means
-    /// the cache's own tag array is authoritative.
+    /// `(ptr, len)` of the slice each footprint was registered from.
+    /// Callers pass the same backing slice per fid on every sweep (the
+    /// documented fid contract), so matching identity here proves
+    /// equality without re-comparing the whole line list per call; a
+    /// non-matching pointer falls back to the full comparison.
+    footprint_src: Vec<(usize, usize)>,
+    /// Data-region footprints: packed `(first_line, n_lines, kind)` key
+    /// → footprint id. Ordered map: no hashing on the hot path beyond a
+    /// short comparison chain, and deterministic by construction.
+    regions: BTreeMap<u64, u32>,
+    /// Token of the state currently live, when known. `None` means the
+    /// cache's (and TLB's) own arrays are authoritative.
     pub(crate) cur: Option<u32>,
+    /// Cap on `states.len()`, derived from the key size on first intern.
+    max_states: usize,
     stats: ReplayStats,
 }
 
@@ -75,38 +167,79 @@ impl ReplayCache {
         let idx = fid as usize;
         if idx >= self.footprints.len() {
             self.footprints.resize(idx + 1, Vec::new());
+            self.footprint_src.resize(idx + 1, (0, 0));
+        }
+        if (lines.as_ptr() as usize, lines.len()) == self.footprint_src[idx] {
+            return true;
         }
         if self.footprints[idx].is_empty() {
             self.footprints[idx] = lines.to_vec();
+            self.footprint_src[idx] = (lines.as_ptr() as usize, lines.len());
             return true;
         }
-        self.footprints[idx] == lines
+        self.footprints[idx].as_slice() == lines
     }
 
-    /// Interns a tag state, returning its token.
-    pub(crate) fn intern(&mut self, tags: Box<[u64]>) -> u32 {
-        if let Some(&t) = self.intern.get(&tags) {
-            return t;
+    /// Footprint id for a data region, identified by its exact line
+    /// range and access kind packed into `key`. Ids are assigned in
+    /// first-seen order and never collide (the key *is* the identity),
+    /// so region sweeps need no collision fallback.
+    pub(crate) fn region_fid(&mut self, key: u64) -> u32 {
+        if let Some(&fid) = self.regions.get(&key) {
+            return fid;
+        }
+        let fid = self.regions.len() as u32;
+        self.regions.insert(key, fid);
+        fid
+    }
+
+    /// Interns a combined tag state, returning its token — or `None`
+    /// when the state is new but the table is full (the caller then
+    /// bypasses the memo for this sweep).
+    pub(crate) fn intern(&mut self, key: &[u64]) -> Option<u32> {
+        if let Some(&t) = self.intern.get(key) {
+            return Some(t);
+        }
+        if self.max_states == 0 {
+            // First state fixes the key width and therefore the cap.
+            self.max_states = (MAX_STATE_BYTES / (16 * key.len().max(1))).max(512);
+        }
+        if self.states.len() >= self.max_states {
+            return None;
         }
         let t = self.states.len() as u32;
-        self.states.push(tags.clone());
-        self.intern.insert(tags, t);
-        t
+        let boxed: Box<[u64]> = key.into();
+        self.states.push(StateEntry {
+            key: boxed.clone(),
+            transitions: Vec::new(),
+        });
+        self.intern.insert(boxed, t);
+        Some(t)
     }
 
-    /// The tag state behind a token.
+    /// Whether the state table has hit its capacity bound.
+    pub(crate) fn saturated(&self) -> bool {
+        self.max_states != 0 && self.states.len() >= self.max_states
+    }
+
+    /// The combined tag state behind a token.
     pub(crate) fn state(&self, token: u32) -> &[u64] {
-        &self.states[token as usize]
+        &self.states[token as usize].key
     }
 
     /// Looks up a recorded transition.
+    #[inline]
     pub(crate) fn lookup(&self, state: u32, fid: u32) -> Option<Transition> {
-        self.transitions.get(&(state, fid)).copied()
+        let ts = &self.states[state as usize].transitions;
+        // Linear scan: the lists are nearly always 1–4 entries.
+        ts.iter().find(|&&(f, _)| f == fid).map(|&(_, tr)| tr)
     }
 
     /// Records a transition.
     pub(crate) fn insert(&mut self, state: u32, fid: u32, tr: Transition) {
-        self.transitions.insert((state, fid), tr);
+        let ts = &mut self.states[state as usize].transitions;
+        let pos = ts.partition_point(|&(f, _)| f < fid);
+        ts.insert(pos, (fid, tr));
     }
 
     /// Mutable access to the counters.
@@ -124,8 +257,9 @@ impl ReplayCache {
         ReplayReport {
             stats: self.stats,
             states: self.states.len(),
-            transitions: self.transitions.len(),
-            footprints: self.footprints.iter().filter(|f| !f.is_empty()).count(),
+            transitions: self.states.iter().map(|s| s.transitions.len()).sum(),
+            footprints: self.footprints.iter().filter(|f| !f.is_empty()).count()
+                + self.regions.len(),
         }
     }
 }
@@ -133,6 +267,18 @@ impl ReplayCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tr(ret: u64, next: u32) -> Transition {
+        Transition {
+            ret,
+            hits: 0,
+            misses: ret,
+            tlb_hits: 0,
+            tlb_misses: 0,
+            stall: 0,
+            next,
+        }
+    }
 
     #[test]
     fn footprint_registration_detects_collisions() {
@@ -145,24 +291,63 @@ mod tests {
     }
 
     #[test]
+    fn region_fids_are_stable_and_distinct() {
+        let mut r = ReplayCache::default();
+        let a = r.region_fid(0x1000);
+        let b = r.region_fid(0x2000);
+        assert_ne!(a, b);
+        assert_eq!(r.region_fid(0x1000), a, "same key, same id");
+        assert_eq!(r.report().footprints, 2);
+    }
+
+    #[test]
     fn interning_is_stable_and_exact() {
         let mut r = ReplayCache::default();
-        let a = r.intern(vec![1, 2, u64::MAX].into_boxed_slice());
-        let b = r.intern(vec![1, 2, u64::MAX].into_boxed_slice());
-        let c = r.intern(vec![1, 3, u64::MAX].into_boxed_slice());
+        let a = r.intern(&[1, 2, u64::MAX]).unwrap();
+        let b = r.intern(&[1, 2, u64::MAX]).unwrap();
+        let c = r.intern(&[1, 3, u64::MAX]).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(r.state(c), &[1, 3, u64::MAX]);
     }
 
     #[test]
+    fn interner_caps_out_gracefully() {
+        let mut r = ReplayCache {
+            max_states: 2,
+            ..ReplayCache::default()
+        };
+        assert!(r.intern(&[1]).is_some());
+        assert!(r.intern(&[2]).is_some());
+        assert!(r.intern(&[3]).is_none(), "table full: new states rejected");
+        assert!(r.intern(&[1]).is_some(), "known states still resolve");
+        assert!(r.saturated());
+    }
+
+    #[test]
     fn transitions_round_trip() {
         let mut r = ReplayCache::default();
-        assert!(r.lookup(0, 0).is_none());
-        r.insert(0, 0, Transition { misses: 7, next: 3 });
-        let tr = r.lookup(0, 0).unwrap();
-        assert_eq!(tr.misses, 7);
-        assert_eq!(tr.next, 3);
-        assert_eq!(r.report().transitions, 1);
+        let s = r.intern(&[7]).unwrap();
+        assert!(r.lookup(s, 0).is_none());
+        r.insert(s, 3, tr(7, 3));
+        r.insert(s, 1, tr(1, 1));
+        let got = r.lookup(s, 3).unwrap();
+        assert_eq!(got.ret, 7);
+        assert_eq!(got.next, 3);
+        assert_eq!(r.lookup(s, 1).unwrap().ret, 1);
+        assert!(r.lookup(s, 2).is_none());
+        assert_eq!(r.report().transitions, 2);
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        b.write_u64(0xdead_beef);
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
     }
 }

@@ -16,8 +16,9 @@
 //!   LDLP-aware layer affinity (software pipelining across cores).
 //! * [`sim`] — the deterministic event loop: per-core engines over a
 //!   [`cachesim::SharedL2`] coherence fabric, bounded
-//!   [`simnet::Handoff`] queues between pipeline stages, and a
-//!   cross-core conservation law asserted on every run.
+//!   structure-of-arrays descriptor rings between pipeline stages
+//!   (`ring`), and a cross-core conservation law asserted on every
+//!   run.
 //!
 //! The headline experiment is `figure9` in `crates/bench`: arrival rate
 //! × core count × dispatch policy, Conventional vs. LDLP, reporting
@@ -25,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+mod ring;
 pub mod sim;
 pub mod steer;
 

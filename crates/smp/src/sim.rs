@@ -21,9 +21,10 @@
 //! * **LayerAffinity** — the stack is partitioned contiguously across
 //!   cores ([`ldlp::stage_partition`]); all packets enter stage 0 and
 //!   whole layer-batches move between stages through bounded
-//!   [`Handoff`] queues, paying descriptor-ring traffic through the
-//!   fabric instead. Each shared table has a single owning stage, so
-//!   after warm-up its lines never migrate.
+//!   structure-of-arrays descriptor rings ([`crate::ring::DescRing`]),
+//!   paying descriptor-ring traffic through the fabric instead. Each
+//!   shared table has a single owning stage, so after warm-up its
+//!   lines never migrate.
 //!
 //! Boundedness gives backpressure: a stage never takes a batch larger
 //! than its downstream queue's free space, so overload backs up into
@@ -44,6 +45,7 @@
 //! Σ entry-queued + Σ hand-off-parked`, asserted at the end of every
 //! run (the last two terms are zero then, because a run drains).
 
+use crate::ring::DescRing;
 use crate::steer::{DispatchPolicy, FlowArrival, Steerer};
 use cachesim::{
     CoherenceStats, MachineConfig, MachineStats, Region, ReplayStats, SharedL2, SharedL2Config,
@@ -52,7 +54,7 @@ use ldlp::synth::{paper_stack, MessagePool};
 use ldlp::{stage_partition, AdmissionPolicy, Completion, Discipline, SimMessage, StackEngine};
 use obs::{NameId, SpanEvent};
 use simnet::stats::{RunTally, SimReport};
-use simnet::{Handoff, ImpairCounters};
+use simnet::ImpairCounters;
 use std::collections::VecDeque;
 
 /// Where the shared mutable state lives in the flat simulated address
@@ -182,32 +184,14 @@ struct EntryPkt {
     flow_id: u32,
 }
 
-/// A message parked in a hand-off queue between pipeline stages,
-/// carrying its accumulated per-message cost so the final stage can
-/// emit whole-path samples.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    msg: SimMessage,
-    arr: u64,
-    flow_id: u32,
-    imiss: u64,
-    dmiss: u64,
-}
-
-/// Per-message bookkeeping for the batch in flight.
-#[derive(Debug, Clone, Copy)]
-struct BatchMeta {
-    arr: u64,
-    flow_id: u32,
-    imiss: u64,
-    dmiss: u64,
-}
-
 struct CoreState {
     engine: StackEngine,
     pool: MessagePool,
     entry: VecDeque<EntryPkt>,
-    inbox: Handoff<Pending>,
+    /// Hand-off queue feeding this core: an SoA descriptor ring (see
+    /// [`crate::ring`]) carrying each message's accumulated per-message
+    /// cost so the final stage can emit whole-path samples.
+    inbox: DescRing,
     busy_until: u64,
     /// Machine cycle count when the current run started.
     m0: u64,
@@ -217,9 +201,15 @@ struct CoreState {
     replay0: ReplayStats,
     obs: Option<ObsIds>,
     rep: CoreReport,
-    // Reused per-batch scratch: the steady-state loop allocates nothing.
+    // Reused per-batch scratch: the steady-state loop allocates
+    // nothing. Per-message bookkeeping for the batch in flight is
+    // columnar (parallel arrays indexed by batch position) to match
+    // the descriptor-ring layout.
     batch: Vec<SimMessage>,
-    meta: Vec<BatchMeta>,
+    b_arr: Vec<u64>,
+    b_flow: Vec<u32>,
+    b_imiss: Vec<u64>,
+    b_dmiss: Vec<u64>,
     completions: Vec<Completion>,
 }
 
@@ -278,7 +268,7 @@ impl SmpSim {
                 engine,
                 pool: MessagePool::new(cfg.pool_bufs, cfg.pool_buf_bytes, cfg.placement_seed),
                 entry: VecDeque::with_capacity(entry_cap),
-                inbox: Handoff::new(cfg.handoff_cap),
+                inbox: DescRing::new(cfg.handoff_cap),
                 busy_until: 0,
                 m0: 0,
                 icache0: 0,
@@ -287,7 +277,10 @@ impl SmpSim {
                 obs: None,
                 rep: CoreReport::default(),
                 batch: Vec::with_capacity(cfg.pool_bufs),
-                meta: Vec::with_capacity(cfg.pool_bufs),
+                b_arr: Vec::with_capacity(cfg.pool_bufs),
+                b_flow: Vec::with_capacity(cfg.pool_bufs),
+                b_imiss: Vec::with_capacity(cfg.pool_bufs),
+                b_dmiss: Vec::with_capacity(cfg.pool_bufs),
                 completions: Vec::with_capacity(cfg.pool_bufs),
             });
         }
@@ -371,7 +364,7 @@ impl SmpSim {
         self.offered = arrivals.len() as u64;
 
         let mut next_arrival = 0usize;
-        loop {
+        'event: loop {
             // The earliest startable batch across cores; the strict `<`
             // breaks ties toward the lowest core index.
             let mut best: Option<(u64, usize)> = None;
@@ -391,13 +384,31 @@ impl SmpSim {
             // Admissions happen in arrival order before any batch that
             // would start later (inclusive: a batch forming at t sees
             // everything that arrived by t, as in the single-core loop).
-            if next_arrival < arrivals.len() {
+            // Each admission touches exactly one core's entry queue, so
+            // `best` is maintained incrementally — lexicographic
+            // (start, core) minimum, matching the scan above — instead
+            // of rescanning every core per arrival. The one case where
+            // an admission can move a core's candidate *later* (the
+            // policy evicted queued work, or the entry queue shadowed a
+            // non-empty inbox) falls back to the full rescan.
+            while next_arrival < arrivals.len() {
                 let a = arrivals[next_arrival];
                 let t = (a.time_s * self.cycles_per_s).round() as u64;
-                if best.is_none_or(|(s, _)| t <= s) {
-                    self.admit(&a, t);
-                    next_arrival += 1;
-                    continue;
+                if best.is_some_and(|(s, _)| t > s) {
+                    break;
+                }
+                let (c, moved_later) = self.admit(&a, t);
+                next_arrival += 1;
+                if moved_later {
+                    continue 'event;
+                }
+                if !self.blocked_downstream(c) {
+                    if let Some(ready) = self.next_ready(c) {
+                        let start = ready.max(self.cores[c].busy_until);
+                        if best.is_none_or(|(s, bc)| start < s || (start == s && c < bc)) {
+                            best = Some((start, c));
+                        }
+                    }
                 }
             }
 
@@ -499,9 +510,15 @@ impl SmpSim {
         self.pipeline && c + 1 < self.stages && self.cores[c + 1].inbox.free() == 0
     }
 
-    fn admit(&mut self, a: &FlowArrival, t: u64) {
+    /// Steers one arrival into its entry queue. Returns the core index
+    /// and whether the core's next-ready time may have moved *later*
+    /// (front-of-queue eviction, or a previously-empty entry queue now
+    /// shadowing a non-empty inbox) — the run loop's incremental `best`
+    /// tracking is only sound when candidates move earlier.
+    fn admit(&mut self, a: &FlowArrival, t: u64) -> (usize, bool) {
         let c = self.steer.core_for(&a.key);
         let core = &mut self.cores[c];
+        let was_empty = core.entry.is_empty();
         let (evict, admit) = self.cfg.admission.admit(core.entry.len(), self.entry_cap);
         for _ in 0..evict {
             core.entry.pop_front();
@@ -517,6 +534,7 @@ impl SmpSim {
         } else {
             core.rep.drops += 1;
         }
+        (c, evict > 0 || (was_empty && !core.inbox.is_empty()))
     }
 
     /// Shared-table slot for `flow_id`: `slots` entries of `slot_bytes`
@@ -551,18 +569,10 @@ impl SmpSim {
 
         // Candidate set: how many messages are takeable right now, and
         // how big the largest is (batch limits are sized conservatively
-        // by the largest candidate, as in the single-core loop).
+        // by the largest candidate, as in the single-core loop). The
+        // ring scan reads only the ready-time and buffer-length columns.
         let (avail, max_bytes) = if core.entry.is_empty() {
-            let mut n = 0usize;
-            let mut max = 0u64;
-            for (ready, p) in core.inbox.iter() {
-                if ready > start {
-                    break;
-                }
-                n += 1;
-                max = max.max(p.msg.buf.len);
-            }
-            (n, max)
+            core.inbox.takeable(start)
         } else {
             (
                 core.entry.len(),
@@ -586,20 +596,21 @@ impl SmpSim {
         // pipeline stages pop handed-off messages and pay the
         // consumer-side descriptor-ring read through the fabric.
         core.batch.clear();
-        core.meta.clear();
+        core.b_arr.clear();
+        core.b_flow.clear();
+        core.b_imiss.clear();
+        core.b_dmiss.clear();
         if core.entry.is_empty() {
             let popped0 = core.inbox.popped();
             for k in 0..limit as u64 {
-                let Some(p) = core.inbox.pop(start) else {
+                let Some(d) = core.inbox.pop(start) else {
                     break;
                 };
-                core.batch.push(p.msg);
-                core.meta.push(BatchMeta {
-                    arr: p.arr,
-                    flow_id: p.flow_id,
-                    imiss: p.imiss,
-                    dmiss: p.dmiss,
-                });
+                core.batch.push(d.msg);
+                core.b_arr.push(d.arr);
+                core.b_flow.push(d.flow_id);
+                core.b_imiss.push(d.imiss);
+                core.b_dmiss.push(d.dmiss);
                 let slot = Self::desc_region(handoff_cap, c, popped0 + k);
                 self.shared.read(c as u8, slot, core.engine.machine_mut());
             }
@@ -613,12 +624,10 @@ impl SmpSim {
                 msg.corrupted = pkt.corrupted;
                 self.msg_seq += 1;
                 core.batch.push(msg);
-                core.meta.push(BatchMeta {
-                    arr: pkt.arr,
-                    flow_id: pkt.flow_id,
-                    imiss: 0,
-                    dmiss: 0,
-                });
+                core.b_arr.push(pkt.arr);
+                core.b_flow.push(pkt.flow_id);
+                core.b_imiss.push(0);
+                core.b_dmiss.push(0);
             }
         }
 
@@ -628,8 +637,8 @@ impl SmpSim {
         // every core does both, so slots ping-pong through the fabric;
         // under layer affinity each table has one owning stage and its
         // lines stop migrating after warm-up.
-        for k in 0..core.meta.len() {
-            let flow = core.meta[k].flow_id;
+        for k in 0..core.b_flow.len() {
+            let flow = core.b_flow[k];
             if owns_bottom {
                 let slot = Self::table_slot(
                     REASS_TABLE_BASE,
@@ -698,9 +707,9 @@ impl SmpSim {
 
         for k in 0..core.completions.len() {
             let comp = core.completions[k];
-            let meta = core.meta[k];
-            let im = meta.imiss + comp.imisses;
-            let dm = meta.dmiss + comp.dmisses;
+            let arr = core.b_arr[k];
+            let im = core.b_imiss[k] + comp.imisses;
+            let dm = core.b_dmiss[k] + comp.dmisses;
             let finish = (comp.done_cycles - core.m0) + offset;
             if comp.rejected {
                 core.rep.rejected += 1;
@@ -715,7 +724,7 @@ impl SmpSim {
                 }
             } else if is_final {
                 core.rep.completed += 1;
-                let lat_cycles = finish.saturating_sub(meta.arr);
+                let lat_cycles = finish.saturating_sub(arr);
                 let lat_us = lat_cycles as f64 / self.clock_mhz;
                 self.latencies_us.push(lat_us);
                 self.imisses.push(im);
@@ -729,16 +738,9 @@ impl SmpSim {
                     }
                 }
             } else if let Some(down) = down.as_deref_mut() {
-                let pushed = down.inbox.push(
-                    end_global,
-                    Pending {
-                        msg: core.batch[k],
-                        arr: meta.arr,
-                        flow_id: meta.flow_id,
-                        imiss: im,
-                        dmiss: dm,
-                    },
-                );
+                let pushed =
+                    down.inbox
+                        .push(end_global, &core.batch[k], arr, core.b_flow[k], im, dm);
                 debug_assert!(pushed, "batch was sized by downstream free space");
                 self.handoff_msgs += 1;
             }
