@@ -21,11 +21,28 @@ use crate::source::{FileRole, SourceFile};
 /// Crates held to the panic-free standard.
 pub const PANIC_FREE_CRATES: &[&str] = &["core", "simnet", "cachesim", "obs", "smp"];
 
+/// Individual files held to the standard even though their crate is
+/// not: hot-path modules inside otherwise example-grade crates. The
+/// flow/call lookup tables sit on every simulated message's path.
+pub const PANIC_FREE_FILES: &[&str] = &["crates/netstack/src/table.rs"];
+
 const CALLS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
+
+/// True when R4 applies to this file: a library file of a hot-path
+/// crate, or an explicitly listed hot-path module.
+pub fn covers(file: &SourceFile) -> bool {
+    if file.role != FileRole::Lib {
+        return false;
+    }
+    PANIC_FREE_CRATES.contains(&file.crate_dir.as_str())
+        || PANIC_FREE_FILES
+            .iter()
+            .any(|p| file.path.as_path() == std::path::Path::new(p))
+}
 
 /// Runs R4 over one file.
 pub fn check(file: &SourceFile) -> Vec<RawFinding> {
-    if !PANIC_FREE_CRATES.contains(&file.crate_dir.as_str()) || file.role != FileRole::Lib {
+    if !covers(file) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -84,7 +101,42 @@ fn literal_index(code: &str) -> Option<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::literal_index;
+    use super::{check, covers, literal_index};
+    use crate::source::{FileRole, SourceFile};
+    use std::path::PathBuf;
+
+    fn file(path: &str, crate_dir: &str, role: FileRole, text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(path), crate_dir.to_string(), role, text)
+    }
+
+    #[test]
+    fn listed_file_is_covered_outside_panic_free_crates() {
+        let hot = file(
+            "crates/netstack/src/table.rs",
+            "netstack",
+            FileRole::Lib,
+            "let x = v.unwrap();\n",
+        );
+        assert!(covers(&hot), "listed hot-path module is in scope");
+        assert_eq!(check(&hot).len(), 1, "unwrap in the table module is flagged");
+
+        let other = file(
+            "crates/netstack/src/iface.rs",
+            "netstack",
+            FileRole::Lib,
+            "let x = v.unwrap();\n",
+        );
+        assert!(!covers(&other), "the rest of netstack stays exempt");
+        assert!(check(&other).is_empty());
+
+        let test_role = file(
+            "crates/netstack/src/table.rs",
+            "netstack",
+            FileRole::Test,
+            "let x = v.unwrap();\n",
+        );
+        assert!(!covers(&test_role), "tests are exempt even when listed");
+    }
 
     #[test]
     fn literal_index_shapes() {

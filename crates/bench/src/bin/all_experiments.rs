@@ -26,6 +26,7 @@ fn main() {
         "figure7",
         "figure8",
         "figure9",
+        "figure10",
         "figure4_regimes",
         "signaling_goal",
         "trace_replay",

@@ -105,6 +105,32 @@ fn figure9_csv_is_thread_count_invariant() {
 }
 
 #[test]
+fn figure10_csv_is_thread_count_invariant() {
+    use bench::figure10::{figure10_rows, sweep, FIGURE10_HEADER};
+
+    // The smoke grid (2 populations × 2 disciplines × 3 lookup schemes)
+    // exercises the flow-table probe charging and the seeded
+    // random-eviction cache — the paths where worker scheduling could
+    // leak into results if the lookup hook were not deterministic.
+    let run = |threads| {
+        let opts = RunOpts {
+            smoke: true,
+            ..reduced_opts(threads)
+        };
+        csv_text(&FIGURE10_HEADER, &figure10_rows(&sweep(&opts)))
+    };
+    let serial = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(serial, two, "figure10 CSV differs between 1 and 2 threads");
+    assert_eq!(serial, eight, "figure10 CSV differs between 1 and 8 threads");
+    // Sanity: every (cell, variant) row is present and carries data.
+    assert_eq!(serial.lines().count(), 2 * 2 * 3 + 1);
+    assert!(serial.contains(",fifo,"), "FIFO-cache rows present");
+    assert!(serial.contains(",rand,"), "random-eviction rows present");
+}
+
+#[test]
 fn metrics_json_is_thread_count_invariant() {
     use bench::sweep::poisson_sweep_observed;
 

@@ -626,6 +626,34 @@ impl Machine {
         self.data_sweep(region, AccessKind::Write)
     }
 
+    /// Charges a table-lookup probe sequence as data references: one
+    /// read of `slot_bytes` at `base + slot * slot_bytes` per probed
+    /// slot, in probe order. This is how the open-addressing tables
+    /// (`netstack::table`) make their walks honest — the simulated
+    /// D-cache and DTLB see the same slot run the real lookup would
+    /// touch, so D-misses per lookup are measured, not modelled.
+    /// Returns the total misses across the sequence.
+    pub fn read_data_probes(&mut self, base: u64, slot_bytes: u64, slots: &[u32]) -> u64 {
+        let mut misses = 0;
+        for &slot in slots {
+            misses += self.read_data(Region {
+                base: base + u64::from(slot) * slot_bytes,
+                len: slot_bytes,
+            });
+        }
+        misses
+    }
+
+    /// The write half of a probe charge: the read-modify-write a lookup
+    /// structure does on its home slot (install, recency update).
+    /// Returns the misses.
+    pub fn write_data_slot(&mut self, base: u64, slot_bytes: u64, slot: u32) -> u64 {
+        self.write_data(Region {
+            base: base + u64::from(slot) * slot_bytes,
+            len: slot_bytes,
+        })
+    }
+
     /// One data sweep over `region`, memoized on eligible configurations
     /// exactly like [`Machine::fetch_code_footprint`]: the region's line
     /// range + kind is the footprint, the D-cache ++ DTLB state is the
@@ -926,6 +954,23 @@ mod tests {
         m.fetch_code(Region::new(0, 32));
         assert_eq!(m.read_data(Region::new(0, 32)), 0, "unified: code fetch warmed the line");
         assert_eq!(m.replay_ineligibility(), Some("unified-cache"));
+    }
+
+    #[test]
+    fn probe_sequences_charge_per_slot() {
+        let mut m = Machine::new(MachineConfig::synthetic_benchmark());
+        // Three cold 64-byte slots (2 lines each) far apart: 6 misses.
+        let base = 0x4000_0000;
+        let misses = m.read_data_probes(base, 64, &[0, 100, 200]);
+        assert_eq!(misses, 6);
+        assert_eq!(m.stats().stall_cycles, 6 * 20);
+        // Re-probing the same run is warm.
+        assert_eq!(m.read_data_probes(base, 64, &[0, 100, 200]), 0);
+        // The home-slot RMW write hits the warmed lines too.
+        assert_eq!(m.write_data_slot(base, 64, 200), 0);
+        assert_eq!(m.write_data_slot(base, 64, 300), 2);
+        // An empty probe log charges nothing.
+        assert_eq!(m.read_data_probes(base, 64, &[]), 0);
     }
 
     #[test]

@@ -17,7 +17,8 @@ use crate::wire::ipv4::{Ipv4Addr, Ipv4Repr, Protocol, IPV4_HEADER_LEN};
 use crate::wire::udp::UdpRepr;
 use obs::{NameId, Sink};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use crate::table::OaTable;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A link-layer device: somewhere to send frames and receive them from.
@@ -186,12 +187,13 @@ pub struct EchoReply {
 pub struct Interface {
     mac: EthernetAddr,
     ip: Ipv4Addr,
-    /// ARP cache: IP -> MAC.
-    arp_cache: BTreeMap<Ipv4Addr, EthernetAddr>,
+    /// ARP cache: IP -> MAC (open addressing: per-packet next-hop
+    /// resolution is a point lookup on the data path).
+    arp_cache: OaTable<Ipv4Addr, EthernetAddr>,
     /// Packets awaiting ARP resolution, keyed by next hop.
-    arp_pending: BTreeMap<Ipv4Addr, Vec<Vec<u8>>>,
+    arp_pending: OaTable<Ipv4Addr, Vec<Vec<u8>>>,
     /// Bound UDP ports and their receive queues.
-    udp_ports: BTreeMap<u16, VecDeque<UdpDatagram>>,
+    udp_ports: OaTable<u16, VecDeque<UdpDatagram>>,
     /// Received echo replies.
     echo_replies: VecDeque<EchoReply>,
     /// The TCP endpoint.
@@ -212,9 +214,9 @@ impl Interface {
         Interface {
             mac,
             ip,
-            arp_cache: BTreeMap::new(),
-            arp_pending: BTreeMap::new(),
-            udp_ports: BTreeMap::new(),
+            arp_cache: OaTable::new(),
+            arp_pending: OaTable::new(),
+            udp_ports: OaTable::new(),
             echo_replies: VecDeque::new(),
             tcp,
             reassembler: Reassembler::new(),
@@ -567,7 +569,12 @@ impl Interface {
             None => {
                 // Queue and ask. (No routing table: the simulated networks
                 // are single-segment, so every destination is on-link.)
-                self.arp_pending.entry(dst).or_default().extend(packets);
+                match self.arp_pending.get_mut(&dst) {
+                    Some(waiting) => waiting.extend(packets),
+                    None => {
+                        self.arp_pending.insert(dst, packets);
+                    }
+                }
                 let req = ArpRepr {
                     op: ArpOp::Request,
                     sender_hw: self.mac,

@@ -39,6 +39,7 @@ pub mod iface;
 pub mod ipfrag;
 pub mod mbuf;
 pub mod socket;
+pub mod table;
 pub mod tcp;
 pub mod wire;
 

@@ -1187,7 +1187,7 @@ mod tests {
         );
         // The PCB cache serves the bulk of lookups.
         let cache = s.pcb_cache_stats();
-        assert!(cache.hits > cache.misses);
+        assert!(cache.cache_hits > cache.walk_hits + cache.no_match);
     }
 
     #[test]

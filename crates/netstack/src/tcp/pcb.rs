@@ -1,11 +1,15 @@
 //! Protocol control blocks and the PCB table.
 //!
-//! The traced BSD stack keeps PCBs on a list with a single-entry cache in
-//! front: on bulk transfer the cache almost always hits ("the single-entry
-//! PCB cache hits", Table 2). [`PcbTable`] reproduces that structure and
-//! counts cache hits and misses so tests and benches can observe it.
+//! The traced BSD stack keeps PCBs behind a single-entry cache: on bulk
+//! transfer the cache almost always hits ("the single-entry PCB cache
+//! hits", Table 2). [`PcbTable`] reproduces that front-end cache —
+//! generalized to Jain's LRU/FIFO/random schemes at 1–64 entries — over
+//! open-addressing indexes (`crate::table`) that stay O(probe run) at
+//! 10^5–10^6 concurrent connections, and counts cache hits, walk hits,
+//! and no-match lookups separately so tests and benches can observe it.
 
 use crate::socket::SockBuf;
+use crate::table::{CacheScheme, LookupCache, LookupCacheStats, OaTable};
 use crate::tcp::assembler::Assembler;
 use crate::wire::ipv4::Ipv4Addr;
 use crate::wire::tcp::SeqNumber;
@@ -163,28 +167,88 @@ impl Pcb {
 }
 
 /// Counters for PCB lookups.
+///
+/// Cache effectiveness and connection-miss rate are separate questions:
+/// a no-match lookup (RST territory) says nothing about the front-end
+/// cache, and a Listen wildcard hit deliberately bypasses it. The old
+/// two-field form folded both into "misses".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PcbCacheStats {
-    /// Lookups satisfied by the single-entry cache.
-    pub hits: u64,
-    /// Lookups that had to walk the PCB list.
-    pub misses: u64,
+    /// Lookups satisfied by the front-end lookup cache.
+    pub cache_hits: u64,
+    /// Lookups that missed the cache but found a PCB in the table
+    /// (exact match or Listen wildcard).
+    pub walk_hits: u64,
+    /// Lookups that matched nothing.
+    pub no_match: u64,
 }
 
-/// The PCB table: a list plus a single-entry lookup cache.
-#[derive(Debug, Default)]
+impl PcbCacheStats {
+    /// Cache hits over lookups that had a PCB to find. No-match
+    /// lookups are excluded: the cache cannot hit on them.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let denom = self.cache_hits + self.walk_hits;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / denom as f64
+        }
+    }
+}
+
+/// The connection 4-tuple `(local, lport, remote, rport)` used to key
+/// the open-addressing index.
+type ConnKey = (Ipv4Addr, u16, Ipv4Addr, u16);
+
+fn key_of(p: &Pcb) -> ConnKey {
+    (p.local_addr, p.local_port, p.remote_addr, p.remote_port)
+}
+
+/// The PCB table.
+///
+/// PCBs live in a dense `Vec` (timers iterate it in insertion order,
+/// exactly like the old list) behind two open-addressing indexes — by
+/// 4-tuple and by socket id — so demultiplex and socket ops are O(probe
+/// run) instead of O(connections). In front sits a pluggable
+/// [`LookupCache`]; the default is a single-entry LRU, which is exactly
+/// the traced BSD structure ("the single-entry PCB cache hits",
+/// Table 2). Benches scale it to Jain's 1–64-entry schemes.
+#[derive(Debug)]
 pub struct PcbTable {
     pcbs: Vec<Pcb>,
-    /// Index of the most recently matched PCB (the one-entry cache).
-    last: Option<usize>,
+    /// 4-tuple -> index into `pcbs`.
+    by_tuple: OaTable<ConnKey, usize>,
+    /// Socket id -> index into `pcbs`.
+    by_id: OaTable<SocketId, usize>,
+    /// Front-end lookup cache (value = index into `pcbs`).
+    cache: LookupCache<ConnKey, usize>,
     stats: PcbCacheStats,
     next_id: SocketId,
 }
 
+impl Default for PcbTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PcbTable {
-    /// An empty table.
+    /// An empty table with the BSD-style single-entry LRU cache.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_lookup_cache(CacheScheme::Lru, 1, 0)
+    }
+
+    /// An empty table with a configurable front-end cache (Jain's
+    /// scheme × size grid; `seed` drives random eviction only).
+    pub fn with_lookup_cache(scheme: CacheScheme, slots: usize, seed: u64) -> Self {
+        PcbTable {
+            pcbs: Vec::new(),
+            by_tuple: OaTable::new(),
+            by_id: OaTable::new(),
+            cache: LookupCache::new(scheme, slots, seed),
+            stats: PcbCacheStats::default(),
+            next_id: 0,
+        }
     }
 
     /// Allocates a socket id.
@@ -196,20 +260,35 @@ impl PcbTable {
 
     /// Inserts a PCB.
     pub fn insert(&mut self, pcb: Pcb) {
+        let idx = self.pcbs.len();
+        self.by_tuple.insert(key_of(&pcb), idx);
+        self.by_id.insert(pcb.id, idx);
         self.pcbs.push(pcb);
     }
 
     /// Removes the PCB for `id`, if present.
     pub fn remove(&mut self, id: SocketId) -> Option<Pcb> {
-        let idx = self.pcbs.iter().position(|p| p.id == id)?;
-        self.last = None;
-        Some(self.pcbs.swap_remove(idx))
+        let idx = self.by_id.remove(&id)?;
+        // The cache holds dense indexes; a swap_remove moves the tail
+        // entry, so drop the whole cache (the old one-entry cache did
+        // the same on every remove).
+        self.cache.clear();
+        let removed = self.pcbs.swap_remove(idx);
+        self.by_tuple.remove(&key_of(&removed));
+        if let Some(moved) = self.pcbs.get(idx) {
+            // The former tail now lives at `idx`: re-point its keys.
+            let (mk, mid) = (key_of(moved), moved.id);
+            self.by_tuple.insert(mk, idx);
+            self.by_id.insert(mid, idx);
+        }
+        Some(removed)
     }
 
     /// Full-match lookup for an incoming segment
-    /// `(src, sport) -> (dst, dport)`, consulting the one-entry cache
-    /// first, then falling back to a list walk preferring exact matches
-    /// over listening sockets (wildcard remote).
+    /// `(src, sport) -> (dst, dport)`: front-end cache, then the
+    /// 4-tuple index (exact match), then the two listener keys —
+    /// `(local, port, *, 0)` and `(*, port, *, 0)` — wildcarding the
+    /// remote and then also the local address.
     pub fn lookup_mut(
         &mut self,
         local_addr: Ipv4Addr,
@@ -217,50 +296,51 @@ impl PcbTable {
         remote_addr: Ipv4Addr,
         remote_port: u16,
     ) -> Option<&mut Pcb> {
-        if let Some(i) = self.last {
-            if let Some(p) = self.pcbs.get(i) {
-                if p.local_port == local_port
-                    && p.remote_port == remote_port
-                    && p.local_addr == local_addr
-                    && p.remote_addr == remote_addr
-                {
-                    self.stats.hits += 1;
-                    return self.pcbs.get_mut(i);
+        let key = (local_addr, local_port, remote_addr, remote_port);
+        if let Some(idx) = self.cache.get(&key) {
+            // Indexes cached across inserts stay valid (inserts never
+            // move entries) and removes clear the cache, so a cached
+            // index always points at its key's PCB.
+            if self.pcbs.get(idx).map(key_of) == Some(key) {
+                self.stats.cache_hits += 1;
+                return self.pcbs.get_mut(idx);
+            }
+            self.cache.invalidate(&key);
+        }
+        if let Some(&idx) = self.by_tuple.get(&key) {
+            self.stats.walk_hits += 1;
+            self.cache.insert(key, idx);
+            return self.pcbs.get_mut(idx);
+        }
+        // Listening socket: wildcard remote, then wildcard local too.
+        // Listen sockets are not cached: the cache is for the
+        // established fast path.
+        let listener_keys = [
+            (local_addr, local_port, Ipv4Addr::UNSPECIFIED, 0u16),
+            (Ipv4Addr::UNSPECIFIED, local_port, Ipv4Addr::UNSPECIFIED, 0u16),
+        ];
+        for lkey in listener_keys {
+            if let Some(&idx) = self.by_tuple.get(&lkey) {
+                if self.pcbs.get(idx).map(|p| p.state) == Some(TcpState::Listen) {
+                    self.stats.walk_hits += 1;
+                    return self.pcbs.get_mut(idx);
                 }
             }
         }
-        self.stats.misses += 1;
-        // Exact match first.
-        if let Some(i) = self.pcbs.iter().position(|p| {
-            p.local_port == local_port
-                && p.remote_port == remote_port
-                && p.local_addr == local_addr
-                && p.remote_addr == remote_addr
-        }) {
-            self.last = Some(i);
-            return self.pcbs.get_mut(i);
-        }
-        // Listening socket: wildcard remote.
-        if let Some(i) = self.pcbs.iter().position(|p| {
-            p.state == TcpState::Listen
-                && p.local_port == local_port
-                && (p.local_addr == local_addr || p.local_addr == Ipv4Addr::UNSPECIFIED)
-        }) {
-            // Listen sockets are not cached: the cache is for the
-            // established fast path.
-            return self.pcbs.get_mut(i);
-        }
+        self.stats.no_match += 1;
         None
     }
 
     /// Lookup by socket id.
     pub fn get_mut(&mut self, id: SocketId) -> Option<&mut Pcb> {
-        self.pcbs.iter_mut().find(|p| p.id == id)
+        let idx = *self.by_id.get(&id)?;
+        self.pcbs.get_mut(idx)
     }
 
     /// Lookup by socket id (shared).
     pub fn get(&self, id: SocketId) -> Option<&Pcb> {
-        self.pcbs.iter().find(|p| p.id == id)
+        let idx = *self.by_id.get(&id)?;
+        self.pcbs.get(idx)
     }
 
     /// Iterates all PCBs mutably (for timers).
@@ -273,9 +353,30 @@ impl PcbTable {
         self.pcbs.iter()
     }
 
-    /// One-entry cache statistics.
+    /// Lookup counters.
     pub fn cache_stats(&self) -> PcbCacheStats {
         self.stats
+    }
+
+    /// Front-end cache counters (hit/miss as the cache itself saw them).
+    pub fn lookup_cache_stats(&self) -> LookupCacheStats {
+        self.cache.stats()
+    }
+
+    /// Slot indices probed by the most recent tuple-index operation,
+    /// for charging the walk as data references.
+    pub fn last_probes(&self) -> &[u32] {
+        self.by_tuple.last_probes()
+    }
+
+    /// Number of PCBs in the table.
+    pub fn len(&self) -> usize {
+        self.pcbs.len()
+    }
+
+    /// True when no PCBs exist.
+    pub fn is_empty(&self) -> bool {
+        self.pcbs.is_empty()
     }
 
     /// Whether a local port is already bound.
@@ -303,14 +404,111 @@ mod tests {
         t.insert(established(0, 80, 5000));
         t.insert(established(1, 80, 5001));
         assert!(t.lookup_mut(A, 80, B, 5001).is_some());
-        assert_eq!(t.cache_stats(), PcbCacheStats { hits: 0, misses: 1 });
+        assert_eq!(
+            t.cache_stats(),
+            PcbCacheStats { cache_hits: 0, walk_hits: 1, no_match: 0 }
+        );
         for _ in 0..5 {
             assert!(t.lookup_mut(A, 80, B, 5001).is_some());
         }
-        assert_eq!(t.cache_stats(), PcbCacheStats { hits: 5, misses: 1 });
+        assert_eq!(
+            t.cache_stats(),
+            PcbCacheStats { cache_hits: 5, walk_hits: 1, no_match: 0 }
+        );
         // A different connection misses and replaces the cache entry.
         assert_eq!(t.lookup_mut(A, 80, B, 5000).unwrap().id, 0);
-        assert_eq!(t.cache_stats().misses, 2);
+        assert_eq!(t.cache_stats().walk_hits, 2);
+        assert!((t.cache_stats().cache_hit_rate() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    /// The satellite bugfix: a no-match lookup and a Listen wildcard hit
+    /// are *not* cache misses — the old counters conflated cache
+    /// effectiveness with the connection-miss rate.
+    #[test]
+    fn no_match_and_listener_hits_are_not_cache_misses() {
+        let mut t = PcbTable::new();
+        let mut listener = Pcb::new(0, A, 80, Ipv4Addr::UNSPECIFIED, 0, 8192);
+        listener.state = TcpState::Listen;
+        t.insert(listener);
+        // SYN to the listener: found by walk, never cached.
+        assert!(t.lookup_mut(A, 80, B, 6000).is_some());
+        assert!(t.lookup_mut(A, 80, B, 6000).is_some());
+        // Stray segment: nothing matches.
+        assert!(t.lookup_mut(A, 81, B, 6000).is_none());
+        assert_eq!(
+            t.cache_stats(),
+            PcbCacheStats { cache_hits: 0, walk_hits: 2, no_match: 1 }
+        );
+    }
+
+    #[test]
+    fn larger_caches_and_other_schemes_are_pluggable() {
+        for scheme in [CacheScheme::Lru, CacheScheme::Fifo, CacheScheme::Random] {
+            let mut t = PcbTable::with_lookup_cache(scheme, 4, 7);
+            for i in 0..4u16 {
+                t.insert(established(i as SocketId, 80, 5000 + i));
+            }
+            // Warm all four, then repeat: every repeat hits the cache.
+            for i in 0..4u16 {
+                assert!(t.lookup_mut(A, 80, B, 5000 + i).is_some());
+            }
+            for i in 0..4u16 {
+                assert_eq!(t.lookup_mut(A, 80, B, 5000 + i).unwrap().id, i as SocketId);
+            }
+            assert_eq!(t.cache_stats().cache_hits, 4, "{scheme:?}");
+            assert_eq!(t.lookup_cache_stats().hits, 4);
+        }
+    }
+
+    /// The tentpole scale target: lookups stay correct (and short) with
+    /// a large population and churn.
+    #[test]
+    fn large_population_lookup_and_churn() {
+        let mut t = PcbTable::new();
+        let n: u32 = 20_000;
+        for i in 0..n {
+            let mut p = Pcb::new(
+                i as SocketId,
+                A,
+                1024 + (i % 50_000) as u16,
+                B,
+                (i / 50_000) as u16 + 1,
+                64,
+            );
+            p.state = TcpState::Established;
+            t.insert(p);
+        }
+        assert_eq!(t.len(), n as usize);
+        // Every connection is reachable by tuple and by id.
+        for i in (0..n).step_by(997) {
+            let lport = 1024 + (i % 50_000) as u16;
+            let rport = (i / 50_000) as u16 + 1;
+            assert_eq!(t.lookup_mut(A, lport, B, rport).unwrap().id, i as SocketId);
+            assert_eq!(t.get(i as SocketId).unwrap().local_port, lport);
+        }
+        // Churn a third out; the rest stay reachable.
+        for i in (0..n).step_by(3) {
+            assert!(t.remove(i as SocketId).is_some());
+        }
+        for i in (0..n).step_by(991) {
+            let found = t.get(i as SocketId).is_some();
+            assert_eq!(found, i % 3 != 0, "id {i}");
+        }
+    }
+
+    /// swap_remove moves the tail PCB; both indexes must follow it.
+    #[test]
+    fn remove_repoints_the_moved_tail_entry() {
+        let mut t = PcbTable::new();
+        t.insert(established(0, 80, 5000));
+        t.insert(established(1, 80, 5001));
+        t.insert(established(2, 80, 5002));
+        assert!(t.remove(0).is_some());
+        // PCB 2 was the tail and now occupies slot 0.
+        assert_eq!(t.lookup_mut(A, 80, B, 5002).unwrap().id, 2);
+        assert_eq!(t.get_mut(2).unwrap().remote_port, 5002);
+        assert_eq!(t.get(1).unwrap().remote_port, 5001);
+        assert!(t.lookup_mut(A, 80, B, 5000).is_none());
     }
 
     #[test]

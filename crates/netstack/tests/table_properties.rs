@@ -1,0 +1,104 @@
+//! Property tests for the open-addressing lookup tables.
+//!
+//! * Model agreement: `OaTable` behaves exactly like a `BTreeMap`
+//!   reference under arbitrary insert/remove/lookup interleavings —
+//!   including backward-shift deletion, which must never strand a key.
+//! * Cache transparency: routing lookups through a `LookupCache` (any
+//!   eviction scheme, any depth) returns exactly what the bare table
+//!   returns; the cache changes cost, never answers.
+//! * Probe-log sanity: every recorded probe sequence is non-empty and
+//!   the table's mean probe count stays at least one.
+
+use std::collections::BTreeMap;
+
+use netstack::table::{mix64, CacheScheme, LookupCache, OaTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// The OA table and a BTreeMap reference stay in lockstep under a
+    /// random op tape: same return values, same length, and at the end
+    /// the same full key → value mapping (iteration included).
+    #[test]
+    fn oa_table_matches_btreemap_model(
+        ops in proptest::collection::vec((0u8..3, 0u16..200, 0u32..10_000), 1..400),
+    ) {
+        let mut table: OaTable<u16, u32> = OaTable::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for &(op, key, value) in &ops {
+            match op {
+                0 => prop_assert_eq!(table.insert(key, value), model.insert(key, value)),
+                1 => prop_assert_eq!(table.remove(&key), model.remove(&key)),
+                _ => prop_assert_eq!(table.get(&key), model.get(&key)),
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(table.get(k), Some(v), "key {} lost after churn", k);
+        }
+        let mut seen: Vec<(u16, u32)> = table.iter().map(|(k, v)| (*k, *v)).collect();
+        seen.sort_unstable();
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(seen, want);
+    }
+
+    /// A lookup cache in front of the table — LRU, FIFO, or random
+    /// eviction, any depth — never changes a lookup's answer, and its
+    /// hit/miss counters account for every probe of it.
+    #[test]
+    fn lookup_cache_is_transparent(
+        keys in proptest::collection::vec(0u16..64, 1..300),
+        slots in 1usize..8,
+        seed in 1u64..1000,
+    ) {
+        let mut table: OaTable<u16, u32> = OaTable::new();
+        for k in 0u16..48 {
+            table.insert(k, k as u32 * 3 + 1);
+        }
+        for scheme in [CacheScheme::Lru, CacheScheme::Fifo, CacheScheme::Random] {
+            let mut cache: LookupCache<u16, u32> = LookupCache::new(scheme, slots, seed);
+            for &k in &keys {
+                let cached = match cache.get(&k) {
+                    Some(v) => Some(v),
+                    None => match table.get(&k).copied() {
+                        Some(v) => {
+                            cache.insert(k, v);
+                            Some(v)
+                        }
+                        None => None,
+                    },
+                };
+                prop_assert_eq!(cached, table.get(&k).copied(), "scheme {:?}", scheme);
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits + stats.misses, keys.len() as u64);
+        }
+    }
+
+    /// Probe logs are recorded for every mutating lookup, and strided
+    /// backward-shift removals keep all survivors reachable.
+    #[test]
+    fn probe_log_and_backward_shift_survive_churn(
+        n in 1usize..200,
+        remove_stride in 1usize..7,
+        seed in 1u64..1000,
+    ) {
+        let mut table: OaTable<u64, usize> = OaTable::with_capacity(n);
+        for i in 0..n {
+            table.insert(mix64(seed ^ i as u64), i);
+            prop_assert!(!table.last_probes().is_empty(), "insert {} logged no probes", i);
+        }
+        for i in (0..n).step_by(remove_stride) {
+            prop_assert_eq!(table.remove(&mix64(seed ^ i as u64)), Some(i));
+        }
+        for i in 0..n {
+            let got = table.get_mut(&mix64(seed ^ i as u64)).map(|v| *v);
+            if i % remove_stride == 0 {
+                prop_assert_eq!(got, None, "removed key {} still resolves", i);
+            } else {
+                prop_assert_eq!(got, Some(i), "survivor {} lost to backward shift", i);
+                prop_assert!(!table.last_probes().is_empty());
+            }
+        }
+        prop_assert!(table.mean_probes() >= 1.0);
+    }
+}

@@ -7,6 +7,7 @@
 //! generation.
 
 use crate::wire::{Cause, InfoElement, Message, MessageType};
+use netstack::table::OaTable;
 use std::collections::BTreeMap;
 
 /// Call states (a condensed Q.2931 state set).
@@ -54,9 +55,15 @@ pub const CALL_TABLE_SLOTS: u64 = 64;
 pub const CALL_TABLE_BYTES: u64 = CALL_TABLE_SLOTS * CALL_SLOT_BYTES;
 
 /// The network-side call controller of one switch port.
+///
+/// The call table is an open-addressing map (`netstack::table`): at the
+/// million-call populations `figure10` simulates, a per-message tree
+/// walk would under-report the data working set. All uses here are
+/// point lookups, so the switch behaves identically to the old
+/// `BTreeMap` form.
 #[derive(Debug)]
 pub struct SignalingSwitch {
-    calls: BTreeMap<u32, Call>,
+    calls: OaTable<u32, Call>,
     stats: SwitchStats,
     next_vci: u16,
     /// Maximum simultaneous calls (VC table capacity).
@@ -67,7 +74,7 @@ impl SignalingSwitch {
     /// A switch port able to hold `capacity` simultaneous calls.
     pub fn new(capacity: usize) -> Self {
         SignalingSwitch {
-            calls: BTreeMap::new(),
+            calls: OaTable::with_capacity(capacity.min(1 << 20)),
             stats: SwitchStats::default(),
             next_vci: 32, // VCIs below 32 are reserved
             capacity,
@@ -184,27 +191,53 @@ impl SignalingSwitch {
     }
 }
 
+/// Call references are 24 bits on the wire (Q.2931); the all-zero
+/// value is reserved for the global call reference and is never
+/// assigned to a call.
+pub const CALL_REF_MASK: u32 = 0x00ff_ffff;
+
 /// User-side endpoint: originates calls, consumes responses.
 #[derive(Debug, Default)]
 pub struct Caller {
     next_ref: u32,
-    /// Calls we believe are up, with their assigned VPI/VCI.
+    /// Calls we believe are up, with their assigned VPI/VCI. Kept as a
+    /// `BTreeMap`: [`Caller::release`] with no explicit ref tears down
+    /// the *oldest* (smallest) ref, so ordered iteration is load-bearing.
     active: BTreeMap<u32, (u16, u16)>,
 }
 
 impl Caller {
     /// A fresh caller.
     pub fn new() -> Self {
+        Self::starting_at(1)
+    }
+
+    /// A caller whose first SETUP uses `next_ref` (masked to 24 bits;
+    /// the reserved value 0 becomes 1). Lets tests drive the counter
+    /// across the 2^24 wrap without 16M warm-up calls.
+    pub fn starting_at(next_ref: u32) -> Self {
         Caller {
-            next_ref: 1,
+            next_ref: (next_ref & CALL_REF_MASK).max(1),
             active: BTreeMap::new(),
         }
     }
 
     /// Builds the next SETUP message.
+    ///
+    /// The ref counter wraps at 24 bits: mask *first*, then clamp away
+    /// the reserved global ref 0 (the old order, `.max(1)` before the
+    /// mask, emitted ref 0 right after the wrap), and skip refs that
+    /// still have live state so a long-lived call's ref is never
+    /// reissued. Bounded: at most `active.len() + 1` candidates are
+    /// probed, since the live set cannot cover them all.
     pub fn setup(&mut self) -> Message {
-        let call_ref = self.next_ref;
-        self.next_ref = self.next_ref.wrapping_add(1).max(1) & 0x00ff_ffff;
+        let mut call_ref = (self.next_ref & CALL_REF_MASK).max(1);
+        let mut candidates = self.active.len() + 1;
+        while candidates > 0 && self.active.contains_key(&call_ref) {
+            call_ref = (call_ref.wrapping_add(1) & CALL_REF_MASK).max(1);
+            candidates -= 1;
+        }
+        self.next_ref = (call_ref.wrapping_add(1) & CALL_REF_MASK).max(1);
         crate::wire::sample_setup(call_ref)
     }
 
@@ -317,6 +350,42 @@ mod tests {
             let (_, vci) = replies[1].connection_id().unwrap();
             assert!(seen.insert(vci), "vci {vci} reused while active");
         }
+    }
+
+    /// Regression: drive the 24-bit call-ref counter across the wrap.
+    /// The old code applied `.max(1)` *before* the mask, so the first
+    /// post-wrap SETUP carried the reserved global ref 0 — and nothing
+    /// stopped it from reissuing a ref still held by a live call.
+    #[test]
+    fn call_ref_counter_survives_the_24_bit_wrap() {
+        let mut caller = Caller::starting_at(CALL_REF_MASK - 1);
+        // A long-lived call from the previous epoch holds ref 1.
+        caller.active.insert(1, (0, 32));
+        assert_eq!(caller.setup().call_ref, CALL_REF_MASK - 1);
+        assert_eq!(caller.setup().call_ref, CALL_REF_MASK);
+        let post_wrap = caller.setup().call_ref;
+        assert_ne!(post_wrap, 0, "reserved global call ref must never be issued");
+        assert_eq!(post_wrap, 2, "ref 1 is live and must be skipped");
+        assert_eq!(caller.setup().call_ref, 3);
+    }
+
+    #[test]
+    fn call_ref_wrap_without_live_state_resumes_at_one() {
+        let mut caller = Caller::starting_at(CALL_REF_MASK);
+        assert_eq!(caller.setup().call_ref, CALL_REF_MASK);
+        assert_eq!(caller.setup().call_ref, 1);
+        assert_eq!(caller.setup().call_ref, 2);
+    }
+
+    /// `starting_at` itself masks and clamps.
+    #[test]
+    fn starting_at_normalizes_reserved_and_oversized_refs() {
+        assert_eq!(Caller::starting_at(0).setup().call_ref, 1);
+        assert_eq!(
+            Caller::starting_at(0x0100_0005).setup().call_ref,
+            5,
+            "out-of-range seeds are masked to 24 bits"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! UDP framing, no name compression on parse (emitted names are always
 //! uncompressed), no EDNS.
 
+use netstack::table::OaTable;
 use netstack::wire::ipv4::Ipv4Addr;
-use std::collections::BTreeMap;
 
 /// DNS response codes we produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,9 +205,13 @@ pub struct DnsStats {
 }
 
 /// A tiny authoritative server over an in-memory zone.
+///
+/// The zone is an open-addressing table (`netstack::table`) so query
+/// handling at large zone sizes walks a short probe run rather than a
+/// tree; lookups are point queries, so behavior is unchanged.
 #[derive(Debug, Default)]
 pub struct DnsServer {
-    zone: BTreeMap<String, Vec<Ipv4Addr>>,
+    zone: OaTable<String, Vec<Ipv4Addr>>,
     stats: DnsStats,
 }
 
@@ -219,10 +223,13 @@ impl DnsServer {
 
     /// Adds an A record.
     pub fn add_record(&mut self, name: &str, addr: Ipv4Addr) {
-        self.zone
-            .entry(name.to_ascii_lowercase())
-            .or_default()
-            .push(addr);
+        let key = name.to_ascii_lowercase();
+        match self.zone.get_mut(&key) {
+            Some(addrs) => addrs.push(addr),
+            None => {
+                self.zone.insert(key, vec![addr]);
+            }
+        }
     }
 
     /// Counters.

@@ -40,7 +40,10 @@ pub use impair::{
     ImpairedSource,
 };
 pub use par::{resolve_threads, run_indexed};
-pub use sim::{run_sim, run_sim_impaired, run_sim_traced, BatchRecord, SimConfig};
+pub use sim::{
+    run_sim, run_sim_impaired, run_sim_lookup, run_sim_traced, BatchRecord, LookupCharge,
+    SimConfig,
+};
 pub use stats::{RunTally, SimReport};
 pub use traffic::{
     Arrival, MmppSource, PoissonSource, SelfSimilarSource, TraceSource, TrafficSource,

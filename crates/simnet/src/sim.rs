@@ -69,6 +69,21 @@ pub struct BatchRecord {
     pub queue_after: usize,
 }
 
+/// A per-message data-structure charge, applied as each message enters
+/// protocol processing.
+///
+/// `figure10` uses this to put flow/call lookup tables in the loop: the
+/// implementation walks its own lookup structure for `flow_id` and
+/// charges the probe footprint to the engine's machine (e.g. via
+/// [`cachesim::Machine::read_data_probes`]), returning the D-misses it
+/// incurred. The cycles land inside the batch window, so reported
+/// latency includes lookup time, and the returned misses are added to
+/// that message's D-miss sample.
+pub trait LookupCharge {
+    /// Charges the lookup for `flow_id`; returns the D-misses incurred.
+    fn charge(&mut self, flow_id: u32, machine: &mut cachesim::Machine) -> u64;
+}
+
 /// Runs `arrivals` (time-sorted, in seconds) through `engine` and returns
 /// the aggregated report. The engine's machine clock defines processing
 /// cost; its configured `clock_mhz` converts arrival times to cycles.
@@ -84,7 +99,7 @@ pub fn run_sim_traced(
     trace: Option<&mut Vec<BatchRecord>>,
 ) -> SimReport {
     let clean: Vec<ImpairedArrival> = arrivals.iter().copied().map(Into::into).collect();
-    run_core(engine, &clean, cfg, trace, ImpairCounters::default())
+    run_core(engine, &clean, cfg, trace, ImpairCounters::default(), &[], None)
 }
 
 /// Runs a stream that already went through an impairment channel (see
@@ -97,7 +112,30 @@ pub fn run_sim_impaired(
     cfg: &SimConfig,
     net: ImpairCounters,
 ) -> SimReport {
-    run_core(engine, deliveries, cfg, None, net)
+    run_core(engine, deliveries, cfg, None, net, &[], None)
+}
+
+/// [`run_sim`] with a per-message flow lookup in the loop: `flow_ids`
+/// parallels `arrivals` (index-matched), and `lookup` is charged once
+/// per message as its batch starts processing. Arrivals dropped or shed
+/// at the NIC never reach the stack and are not charged.
+pub fn run_sim_lookup(
+    engine: &mut StackEngine,
+    arrivals: &[Arrival],
+    flow_ids: &[u32],
+    cfg: &SimConfig,
+    lookup: &mut dyn LookupCharge,
+) -> SimReport {
+    let clean: Vec<ImpairedArrival> = arrivals.iter().copied().map(Into::into).collect();
+    run_core(
+        engine,
+        &clean,
+        cfg,
+        None,
+        ImpairCounters::default(),
+        flow_ids,
+        Some(lookup),
+    )
 }
 
 fn run_core(
@@ -106,6 +144,8 @@ fn run_core(
     cfg: &SimConfig,
     mut trace: Option<&mut Vec<BatchRecord>>,
     net: ImpairCounters,
+    flow_ids: &[u32],
+    mut lookup: Option<&mut dyn LookupCharge>,
 ) -> SimReport {
     let clock_mhz = engine.machine().config().clock_mhz;
     let cycles_per_s = clock_mhz * 1e6;
@@ -125,8 +165,9 @@ fn run_core(
         _ => None,
     };
 
-    // NIC buffer: (arrival_cycle, bytes, corrupted) in arrival order.
-    let mut nic: std::collections::VecDeque<(u64, u32, bool)> =
+    // NIC buffer: (arrival_cycle, bytes, corrupted, flow) in arrival
+    // order. Flow is 0 for runs without a lookup model.
+    let mut nic: std::collections::VecDeque<(u64, u32, bool, u32)> =
         std::collections::VecDeque::with_capacity(cfg.buffer_cap);
 
     let mut latencies_us: Vec<f64> = Vec::with_capacity(arrivals.len());
@@ -148,6 +189,8 @@ fn run_core(
     // allocates nothing per batch.
     let mut batch: Vec<SimMessage> = Vec::with_capacity(cfg.pool_bufs);
     let mut batch_arrivals: Vec<u64> = Vec::with_capacity(cfg.pool_bufs);
+    let mut batch_flows: Vec<u32> = Vec::with_capacity(cfg.pool_bufs);
+    let mut lookup_dm: Vec<u64> = Vec::with_capacity(cfg.pool_bufs);
     let mut completions: Vec<ldlp::Completion> = Vec::with_capacity(cfg.pool_bufs);
 
     let arrival_cycle =
@@ -163,7 +206,8 @@ fn run_core(
                 shed += 1;
             }
             if admit {
-                nic.push_back((arrival_cycle(a), a.bytes, a.corrupted));
+                let flow = flow_ids.get(next_arrival).copied().unwrap_or(0);
+                nic.push_back((arrival_cycle(a), a.bytes, a.corrupted, flow));
             } else {
                 drops += 1;
             }
@@ -185,22 +229,24 @@ fn run_core(
         // Form a batch: up to the engine's cap, sized by the *largest*
         // message in the candidate set (conservative for mixed sizes).
         // analyze::allow(panic-free-library, reason = "the drain loop above breaks before this point when the NIC queue is empty")
-        let max_bytes = nic.iter().map(|&(_, b, _)| b).max().expect("nonempty") as u64;
+        let max_bytes = nic.iter().map(|&(_, b, _, _)| b).max().expect("nonempty") as u64;
         let limit = engine
             .batch_limit(max_bytes)
             .min(nic.len())
             .min(cfg.pool_bufs);
         batch.clear();
         batch_arrivals.clear();
+        batch_flows.clear();
         for _ in 0..limit {
             // analyze::allow(panic-free-library, reason = "limit is min'd against nic.len(), so the first `limit` pops cannot fail")
-            let (arr, bytes, corrupted) = nic.pop_front().expect("limit <= len");
+            let (arr, bytes, corrupted, flow) = nic.pop_front().expect("limit <= len");
             let mut m = pool.make_message(msg_id, bytes as u64);
             m.arrival_cycles = arr;
             m.corrupted = corrupted;
             msg_id += 1;
             batch.push(m);
             batch_arrivals.push(arr);
+            batch_flows.push(flow);
         }
         batches += 1;
         if let Some(t) = trace.as_deref_mut() {
@@ -214,6 +260,15 @@ fn run_core(
         // Process: the machine's counter advances by the batch cost.
         let machine_before = engine.machine().cycles();
         let stats_before = obs_ids.map(|_| engine.machine().stats());
+        // Per-message flow lookup: charged inside the batch window, so
+        // its cycles show up in latency and its misses in the D-miss
+        // samples below.
+        lookup_dm.clear();
+        if let Some(l) = lookup.as_deref_mut() {
+            for &flow in &batch_flows {
+                lookup_dm.push(l.charge(flow, engine.machine_mut()));
+            }
+        }
         engine.process_batch_into(&batch, &mut completions);
         let machine_after = engine.machine().cycles();
         if let (Some((batch_id, _, _, _)), Some(s0)) = (obs_ids, stats_before) {
@@ -233,13 +288,13 @@ fn run_core(
         }
         // Batch runs in sim time [now, now + cost).
         let offset = now - machine_before;
-        for (c, &arr) in completions.iter().zip(&batch_arrivals) {
+        for (k, (c, &arr)) in completions.iter().zip(&batch_arrivals).enumerate() {
             let finish = c.done_cycles + offset;
             last_finish = last_finish.max(finish);
             // Cycles and misses are spent either way; only clean
             // completions count as useful work with a latency sample.
             imisses.push(c.imisses);
-            dmisses.push(c.dmisses);
+            dmisses.push(c.dmisses + lookup_dm.get(k).copied().unwrap_or(0));
             if c.rejected {
                 rejected += 1;
             } else {
@@ -249,9 +304,9 @@ fn run_core(
         }
         if let Some((_, lat_id, im_id, dm_id)) = obs_ids {
             if let Some(rec) = engine.sink_mut().on_mut() {
-                for (c, &arr) in completions.iter().zip(&batch_arrivals) {
+                for (k, (c, &arr)) in completions.iter().zip(&batch_arrivals).enumerate() {
                     rec.record_value(im_id, c.imisses);
-                    rec.record_value(dm_id, c.dmisses);
+                    rec.record_value(dm_id, c.dmisses + lookup_dm.get(k).copied().unwrap_or(0));
                     if !c.rejected {
                         let lat_cycles = (c.done_cycles + offset).saturating_sub(arr);
                         rec.record_value(lat_id, (lat_cycles as f64 / clock_mhz) as u64);
@@ -539,6 +594,43 @@ mod tests {
         // Shedding happens 400-at-a-time, so the shed count is a
         // multiple of the purge size.
         assert_eq!(r.shed % 400, 0, "shed {} in sweeps of 400", r.shed);
+    }
+
+    #[test]
+    fn lookup_charges_land_in_dmisses_and_latency() {
+        let arrivals = ConstantSource::new(0.001, 552).take_until(0.2);
+        let flow_ids: Vec<u32> = (0..arrivals.len() as u32).collect();
+        let cfg = SimConfig {
+            duration_s: 0.2,
+            ..SimConfig::default()
+        };
+        let mut plain = engine(Discipline::Conventional, 1);
+        let base = run_sim(&mut plain, &arrivals, &cfg);
+
+        /// Two 64-byte slots per lookup, distinct per flow: every
+        /// message pays 4 cold-line reads.
+        struct Probes;
+        impl LookupCharge for Probes {
+            fn charge(&mut self, flow_id: u32, machine: &mut cachesim::Machine) -> u64 {
+                machine.read_data_probes(0x4000_0000, 64, &[flow_id * 2, flow_id * 2 + 1])
+            }
+        }
+        let mut e = engine(Discipline::Conventional, 1);
+        let r = run_sim_lookup(&mut e, &arrivals, &flow_ids, &cfg, &mut Probes);
+        assert_eq!(r.completed, base.completed);
+        assert!(r.conservation_holds());
+        // Each lookup adds 4 cold-line misses of its own; pollution of
+        // the stack's working set can only add more.
+        assert!(
+            r.mean_dmiss >= base.mean_dmiss + 4.0 - 1e-9,
+            "lookup misses must be charged: {} vs {}",
+            r.mean_dmiss,
+            base.mean_dmiss
+        );
+        assert!(
+            r.mean_latency_us > base.mean_latency_us,
+            "lookup stalls must show up in latency"
+        );
     }
 
     #[test]

@@ -100,6 +100,14 @@ pub struct SmpConfig {
     /// Seed for code/data/buffer placement. All cores share one layout:
     /// one kernel image, mapped on every core.
     pub placement_seed: u64,
+    /// Simulated shared call-table capacity in slots. The default is the
+    /// modest switch port of `signaling::call::CALL_TABLE_SLOTS`;
+    /// million-flow experiments size it with
+    /// [`SmpConfig::sized_for_flows`] so per-message slot RMWs spread
+    /// over a realistic footprint instead of ping-ponging 64 entries.
+    pub call_table_slots: u64,
+    /// Simulated shared reassembly-table capacity in slots.
+    pub reass_table_slots: u64,
 }
 
 impl SmpConfig {
@@ -120,7 +128,22 @@ impl SmpConfig {
             pool_bufs: 64,
             pool_buf_bytes: 1536,
             placement_seed: 1,
+            call_table_slots: signaling::call::CALL_TABLE_SLOTS,
+            reass_table_slots: netstack::ipfrag::REASSEMBLY_TABLE_BYTES
+                / netstack::ipfrag::REASSEMBLY_SLOT_BYTES,
         }
+    }
+
+    /// Sizes both shared tables for a concurrent-flow population, the
+    /// way the open-addressing tables do: next power of two above
+    /// `flows`, never below the stock defaults.
+    pub fn sized_for_flows(mut self, flows: u64) -> Self {
+        let slots = flows.next_power_of_two();
+        self.call_table_slots = slots.max(signaling::call::CALL_TABLE_SLOTS);
+        self.reass_table_slots = slots.max(
+            netstack::ipfrag::REASSEMBLY_TABLE_BYTES / netstack::ipfrag::REASSEMBLY_SLOT_BYTES,
+        );
+        self
     }
 }
 
@@ -642,8 +665,7 @@ impl SmpSim {
             if owns_bottom {
                 let slot = Self::table_slot(
                     REASS_TABLE_BASE,
-                    netstack::ipfrag::REASSEMBLY_TABLE_BYTES
-                        / netstack::ipfrag::REASSEMBLY_SLOT_BYTES,
+                    self.cfg.reass_table_slots,
                     netstack::ipfrag::REASSEMBLY_SLOT_BYTES,
                     flow,
                 );
@@ -653,7 +675,7 @@ impl SmpSim {
             if owns_top {
                 let slot = Self::table_slot(
                     CALL_TABLE_BASE,
-                    signaling::call::CALL_TABLE_SLOTS,
+                    self.cfg.call_table_slots,
                     signaling::call::CALL_SLOT_BYTES,
                     flow,
                 );
@@ -827,6 +849,44 @@ mod tests {
         // One core: no cross-core transfers, ever.
         assert_eq!(out.coherence.transfers, 0);
         assert_eq!(out.coherence.invalidations, 0);
+    }
+
+    /// Table sizing: defaults reproduce the stock constants (so every
+    /// pre-existing figure-9 cell is bit-identical), and
+    /// `sized_for_flows` spreads per-message RMWs over a
+    /// population-sized footprint, cutting slot ping-pong.
+    #[test]
+    fn shared_tables_size_with_the_flow_population() {
+        let stock = cfg(2, DispatchPolicy::FlowHash, Discipline::Conventional);
+        assert_eq!(stock.call_table_slots, signaling::call::CALL_TABLE_SLOTS);
+        assert_eq!(
+            stock.reass_table_slots,
+            netstack::ipfrag::REASSEMBLY_TABLE_BYTES / netstack::ipfrag::REASSEMBLY_SLOT_BYTES
+        );
+        let big = stock.sized_for_flows(1_000_000);
+        assert_eq!(big.call_table_slots, 1 << 20);
+        assert_eq!(big.reass_table_slots, 1 << 20);
+        assert_eq!(
+            stock.sized_for_flows(1).call_table_slots,
+            signaling::call::CALL_TABLE_SLOTS,
+            "sizing never shrinks below the stock port"
+        );
+
+        // 4096 flows hammering 64 slots ping-pong constantly; the same
+        // flows over a 4096-slot table mostly own distinct lines.
+        let arr = arrivals(2000.0, 0.2, 4096, 4);
+        let out_small = run_smp(&stock, &arr);
+        let out_big = run_smp(&stock.sized_for_flows(4096), &arr);
+        assert!(out_small.report.conservation_holds());
+        assert!(out_big.report.conservation_holds());
+        assert_eq!(out_small.report.completed, out_big.report.completed);
+        assert!(
+            out_big.coherence.transfers + out_big.coherence.invalidations
+                < out_small.coherence.transfers + out_small.coherence.invalidations,
+            "population-sized tables must reduce slot ping-pong: {} vs {}",
+            out_big.coherence.transfers + out_big.coherence.invalidations,
+            out_small.coherence.transfers + out_small.coherence.invalidations
+        );
     }
 
     #[test]

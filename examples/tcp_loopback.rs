@@ -104,7 +104,13 @@ fn main() {
         100.0 * st.fast_path as f64 / (st.fast_path + st.slow_path).max(1) as f64);
     println!("  slow path:             {}", st.slow_path);
     println!("  delayed ACKs:          {}", st.delayed_acks);
-    println!("  PCB cache hits/misses: {}/{}", cache.hits, cache.misses);
+    println!(
+        "  PCB lookups:           {} cache hits / {} walk hits / {} no match ({:.0}% cached)",
+        cache.cache_hits,
+        cache.walk_hits,
+        cache.no_match,
+        100.0 * cache.cache_hit_rate()
+    );
 
     // And the measurement the paper starts from: this receive path's
     // working set, regenerated from the instrumented trace.
