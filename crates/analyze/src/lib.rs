@@ -18,17 +18,32 @@
 //! | R3 `unsafe-safety`      | every `unsafe` carries a `// SAFETY:` comment |
 //! | R4 `panic-free-library` | no `unwrap`/`expect`/`panic!`/literal-index in core/simnet/cachesim libs |
 //! | R5 `float-reduction`    | no ad-hoc `f64` folds in par-consuming files |
+//! | G1 `panic-path`         | may-panic facts reachable from `hot_path` roots (call graph) |
+//! | G2 `alloc-path`         | may-allocate facts reachable from `hot_path` roots |
+//! | G3 `charge-coverage`    | charged-structure touches in measured windows reach a cachesim charge |
+//! | — `graph-config`        | missing roots / dangling annotations / stale config (unsuppressible) |
+//!
+//! R1–R5 are per-line; G1–G3 propagate leaf facts across function
+//! boundaries over the workspace call graph (`graph` module, see
+//! `DESIGN.md` §5.8). Roots are marked
+//! `// analyze::hot_path(<name>[, rules = "..."])` above a `fn`.
 //!
 //! Escape hatch (reviewed, justified, reported):
 //! `// analyze::allow(<rule>, reason = "...")` — suppresses the rule
 //! on its own line or the next code line; the reason is carried into
 //! `results/analyze_report.json` so the inventory of accepted hazards
-//! stays visible.
+//! stays visible. A `panic-free-library` allow also covers
+//! `panic-path` findings at the same line — one reviewed invariant
+//! justifies both the local and the reachability view of the same
+//! hazard.
 
+pub mod graph;
 pub mod rules;
 pub mod source;
 
-use rules::RULE_ALLOW_GRAMMAR;
+pub use rules::graph_rules::GraphConfig;
+
+use rules::{RULE_ALLOW_GRAMMAR, RULE_GRAPH_CONFIG, RULE_PANIC_FREE, RULE_PANIC_PATH};
 use source::{FileRole, SourceFile};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -57,34 +72,100 @@ pub struct Finding {
     pub status: Status,
 }
 
-/// Scans one in-memory source file. Public so the fixture tests (and
-/// the `--path` CLI mode) can run rules against arbitrary snippets.
-pub fn scan_source(path: &str, crate_dir: &str, role: FileRole, text: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(PathBuf::from(path), crate_dir.to_string(), role, text);
+/// Applies the allow-annotation policy to one raw hit. `panic-path`
+/// findings accept a `panic-free-library` allow at the same line: the
+/// two rules see the same hazard from different directions, and one
+/// reviewed justification covers both.
+fn apply_allows(file: &SourceFile, rule: &str, line: usize) -> Status {
+    if let Some(a) = file.allow_for(rule, line) {
+        return Status::Allowed(a.reason.clone());
+    }
+    if rule == RULE_PANIC_PATH {
+        if let Some(a) = file.allow_for(RULE_PANIC_FREE, line) {
+            return Status::Allowed(a.reason.clone());
+        }
+    }
+    Status::Violation
+}
+
+/// Runs the per-file rules (R1–R5 plus the annotation-grammar checks)
+/// over one parsed file. Graph rules need the whole workspace; see
+/// [`scan_sources`].
+pub fn scan_file(file: &SourceFile) -> Vec<Finding> {
+    let path = file.path.to_string_lossy().replace('\\', "/");
     let mut out = Vec::new();
-    for raw in rules::run_all(&file) {
-        let status = match file.allow_for(raw.rule, raw.line) {
-            Some(a) => Status::Allowed(a.reason.clone()),
-            None => Status::Violation,
-        };
+    for raw in rules::run_all(file) {
         out.push(Finding {
             rule: raw.rule.to_string(),
-            path: path.to_string(),
+            path: path.clone(),
             line: raw.line,
             message: raw.message,
-            status,
+            status: apply_allows(file, raw.rule, raw.line),
         });
     }
     for bad in &file.bad_allows {
         out.push(Finding {
             rule: RULE_ALLOW_GRAMMAR.to_string(),
-            path: path.to_string(),
+            path: path.clone(),
             line: bad.line,
             message: bad.what.clone(),
             status: Status::Violation,
         });
     }
+    for bad in &file.bad_hot_paths {
+        out.push(Finding {
+            rule: RULE_GRAPH_CONFIG.to_string(),
+            path: path.clone(),
+            line: bad.line,
+            message: bad.what.clone(),
+            status: Status::Violation,
+        });
+    }
+    out
+}
+
+/// Scans one in-memory source file with the per-file rules. Public so
+/// the fixture tests (and the `--path` CLI mode) can run rules against
+/// arbitrary snippets.
+pub fn scan_source(path: &str, crate_dir: &str, role: FileRole, text: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(PathBuf::from(path), crate_dir.to_string(), role, text);
+    let mut out = scan_file(&file);
     out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// Scans a whole set of parsed files: per-file rules on each file,
+/// then the call-graph taint rules and configuration checks over the
+/// set. This is the full analysis `scan_workspace` runs; tests call it
+/// with synthetic file sets and custom configs.
+pub fn scan_sources(files: &[SourceFile], cfg: &GraphConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        out.extend(scan_file(file));
+    }
+    let g = graph::build(files);
+    for gf in rules::graph_rules::check(files, &g, cfg) {
+        let (path, status) = match gf.file {
+            Some(fi) => {
+                let file = &files[fi];
+                let status = if gf.raw.rule == RULE_GRAPH_CONFIG {
+                    Status::Violation // config errors are not suppressible
+                } else {
+                    apply_allows(file, gf.raw.rule, gf.raw.line)
+                };
+                (file.path.to_string_lossy().replace('\\', "/"), status)
+            }
+            None => ("<workspace>".to_string(), Status::Violation),
+        };
+        out.push(Finding {
+            rule: gf.raw.rule.to_string(),
+            path,
+            line: gf.raw.line,
+            message: gf.raw.message,
+            status,
+        });
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message)));
     out
 }
 
@@ -126,11 +207,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scans every `.rs` file of every crate under `<root>/crates`, plus
+/// Parses every `.rs` file of every crate under `<root>/crates`, plus
 /// the root-level `tests/` and `examples/` trees (which belong to
 /// `crates/core` via path-mapped targets). `third_party/` stand-ins
-/// are outside the determinism boundary and are not scanned.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// are outside the determinism boundary and are not collected.
+pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(std::io::Error::new(
@@ -138,7 +219,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             format!("{} is not a workspace root (no crates/ dir)", root.display()),
         ));
     }
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -158,9 +239,9 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             let role = role_of(&rel_in_crate);
             let rel = f.strip_prefix(root).unwrap_or(&f);
             let text = std::fs::read_to_string(&f)?;
-            findings.extend(scan_source(
-                &rel.to_string_lossy().replace('\\', "/"),
-                &crate_name,
+            sources.push(SourceFile::parse(
+                PathBuf::from(rel.to_string_lossy().replace('\\', "/")),
+                crate_name.clone(),
                 role,
                 &text,
             ));
@@ -168,7 +249,8 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     }
     // Root-level integration tests and examples: path-mapped targets of
     // crates/core. Scanned as Test/Bin roles so only the universally
-    // scoped rules (R3, allow-grammar) apply.
+    // scoped rules (R3, allow-grammar) apply, and they stay out of the
+    // call graph (graph covers Lib files only).
     for (dir, role) in [("tests", FileRole::Test), ("examples", FileRole::Bin)] {
         let d = root.join(dir);
         if !d.is_dir() {
@@ -179,15 +261,22 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         for f in files {
             let rel = f.strip_prefix(root).unwrap_or(&f);
             let text = std::fs::read_to_string(&f)?;
-            findings.extend(scan_source(
-                &rel.to_string_lossy().replace('\\', "/"),
-                "core",
+            sources.push(SourceFile::parse(
+                PathBuf::from(rel.to_string_lossy().replace('\\', "/")),
+                "core".to_string(),
                 role,
                 &text,
             ));
         }
     }
-    Ok(findings)
+    Ok(sources)
+}
+
+/// Scans the whole workspace: per-file rules plus the call-graph taint
+/// rules with the production [`GraphConfig`].
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let sources = collect_workspace(root)?;
+    Ok(scan_sources(&sources, &GraphConfig::default()))
 }
 
 /// Serialises findings as the `results/analyze_report.json` document.

@@ -12,6 +12,15 @@ use analyze::{scan_source, scan_workspace, Finding, Status};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Violation output format: `plain` for local runs, `github` for CI
+/// (`::error file=...,line=...::` workflow commands render inline on
+/// the PR diff).
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Plain,
+    Github,
+}
+
 struct Opts {
     check: bool,
     fix_inventory: bool,
@@ -19,11 +28,12 @@ struct Opts {
     path: Option<PathBuf>,
     crate_name: String,
     role: FileRole,
+    format: Format,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: analyze [--check] [--fix-inventory] [--root DIR]\n\
+        "usage: analyze [--check] [--fix-inventory] [--root DIR] [--format plain|github]\n\
          \x20      [--path FILE --crate-name NAME --role lib|bin|test|bench]"
     );
     std::process::exit(2);
@@ -37,6 +47,7 @@ fn parse_args() -> Opts {
         path: None,
         crate_name: "simnet".to_string(),
         role: FileRole::Lib,
+        format: Format::Plain,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +66,13 @@ fn parse_args() -> Opts {
                     _ => usage(),
                 }
             }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("plain") => Format::Plain,
+                    Some("github") => Format::Github,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
@@ -62,6 +80,12 @@ fn parse_args() -> Opts {
         opts.check = true;
     }
     opts
+}
+
+/// Escapes a message for a GitHub Actions workflow-command value:
+/// `%`, CR and LF must be percent-encoded.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
 }
 
 /// The workspace root: `--root` if given, else the manifest's
@@ -118,7 +142,16 @@ fn main() -> ExitCode {
     }
 
     for v in &violations {
-        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+        match opts.format {
+            Format::Plain => println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message),
+            Format::Github => println!(
+                "::error file={},line={},title=analyze {}::{}",
+                v.path,
+                v.line.max(1),
+                v.rule,
+                gh_escape(&v.message)
+            ),
+        }
     }
     println!(
         "analyze: {} violation(s), {} justified hazard(s) across {} finding(s)",

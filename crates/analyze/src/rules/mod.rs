@@ -6,6 +6,7 @@
 use crate::source::SourceFile;
 
 pub mod float_reduction;
+pub mod graph_rules;
 pub mod nondeterminism;
 pub mod panic_free;
 pub mod rng_budget;
@@ -34,6 +35,16 @@ pub const RULE_PANIC_FREE: &str = "panic-free-library";
 pub const RULE_FLOAT_REDUCTION: &str = "float-reduction";
 /// Malformed `analyze::allow` annotations (not suppressible).
 pub const RULE_ALLOW_GRAMMAR: &str = "allow-grammar";
+/// G1 — may-panic facts reachable from a `hot_path` root.
+pub const RULE_PANIC_PATH: &str = "panic-path";
+/// G2 — may-allocate facts reachable from a `hot_path` root.
+pub const RULE_ALLOC_PATH: &str = "alloc-path";
+/// G3 — charged-structure touches in a measured window must reach a
+/// cachesim charge call.
+pub const RULE_CHARGE_COVERAGE: &str = "charge-coverage";
+/// Graph/rule configuration errors: missing required roots, dangling
+/// annotations, stale path/crate lists (not suppressible).
+pub const RULE_GRAPH_CONFIG: &str = "graph-config";
 
 /// Runs every rule over `file`.
 pub fn run_all(file: &SourceFile) -> Vec<RawFinding> {

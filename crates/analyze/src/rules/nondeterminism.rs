@@ -24,8 +24,10 @@ use crate::source::{contains_word, FileRole, SourceFile};
 /// The crates whose outputs must replay byte-identically.
 pub const SIM_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "obs", "smp"];
 
-/// Substring hazards (qualified paths and calls).
-const PATH_PATTERNS: &[(&str, &str)] = &[
+/// Substring hazards (qualified paths and calls). Public so the
+/// clippy.toml sync test can assert this list is a superset of the
+/// clippy disallowed-methods list.
+pub const PATH_PATTERNS: &[(&str, &str)] = &[
     ("std::time::Instant", "wall-clock type in simulation code"),
     ("std::time::SystemTime", "wall-clock type in simulation code"),
     ("Instant::now", "wall-clock read in simulation code"),
@@ -33,7 +35,7 @@ const PATH_PATTERNS: &[(&str, &str)] = &[
 ];
 
 /// Whole-word hazards.
-const WORD_PATTERNS: &[(&str, &str)] = &[
+pub const WORD_PATTERNS: &[(&str, &str)] = &[
     ("thread_rng", "OS-seeded RNG; thread a seeded StdRng instead"),
     ("HashMap", "iteration order is per-process random; use BTreeMap"),
     ("HashSet", "iteration order is per-process random; use BTreeSet"),

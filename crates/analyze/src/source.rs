@@ -60,6 +60,26 @@ pub struct BadAllow {
     pub what: String,
 }
 
+/// One parsed hot-path root annotation:
+///
+/// ```text
+/// // analyze::hot_path(<name>)
+/// // analyze::hot_path(<name>, rules = "panic-path, alloc-path")
+/// ```
+///
+/// Marks the next `fn` definition as a taint-propagation root for the
+/// call-graph rules (all three when `rules` is empty). See
+/// `DESIGN.md` §5.8.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    /// Root name, e.g. `engine-batch-loop`.
+    pub name: String,
+    /// Graph rules this root seeds; empty means all graph rules.
+    pub rules: Vec<String>,
+    /// 1-based line of the annotation.
+    pub line: usize,
+}
+
 /// A `.rs` file prepared for rule scanning.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -83,6 +103,10 @@ pub struct SourceFile {
     pub allows: Vec<Allow>,
     /// Malformed allow annotations.
     pub bad_allows: Vec<BadAllow>,
+    /// Well-formed hot-path root annotations, in line order.
+    pub hot_paths: Vec<HotPath>,
+    /// Malformed hot-path annotations (reported as `graph-config`).
+    pub bad_hot_paths: Vec<BadAllow>,
 }
 
 impl SourceFile {
@@ -92,6 +116,7 @@ impl SourceFile {
         let (code, comments) = scrub(&lines);
         let test_mask = mark_test_regions(&code);
         let (allows, bad_allows) = parse_allows(&comments);
+        let (hot_paths, bad_hot_paths) = parse_hot_paths(&comments);
         SourceFile {
             path,
             crate_dir,
@@ -102,6 +127,8 @@ impl SourceFile {
             test_mask,
             allows,
             bad_allows,
+            hot_paths,
+            bad_hot_paths,
         }
     }
 
@@ -429,6 +456,82 @@ fn parse_allows(comments: &[String]) -> (Vec<Allow>, Vec<BadAllow>) {
         }
     }
     (allows, bad)
+}
+
+/// Parses every `analyze::hot_path(name[, rules = "a, b"])` out of the
+/// per-line comment text. Names are kebab-case identifiers; the
+/// optional `rules` list restricts which graph rules treat the
+/// annotated fn as a root (validated against the rule catalog by the
+/// graph checker, not here).
+fn parse_hot_paths(comments: &[String]) -> (Vec<HotPath>, Vec<BadAllow>) {
+    let mut roots = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, c) in comments.iter().enumerate() {
+        let line = idx + 1;
+        let Some(rest) = c.trim_start().strip_prefix("analyze::hot_path(") else {
+            continue;
+        };
+        let name_ok = |s: &str| {
+            !s.is_empty()
+                && s.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        };
+        // Form 1: `name)`.
+        if let Some((name, _)) = rest.split_once(')') {
+            if !name.contains(',') {
+                let name = name.trim();
+                if name_ok(name) {
+                    roots.push(HotPath {
+                        name: name.to_string(),
+                        rules: Vec::new(),
+                        line,
+                    });
+                } else {
+                    bad.push(BadAllow {
+                        line,
+                        what: format!("analyze::hot_path name `{name}` must be kebab-case"),
+                    });
+                }
+                continue;
+            }
+        }
+        // Form 2: `name, rules = "a, b")`.
+        let parsed = rest.split_once(',').and_then(|(name, after)| {
+            let name = name.trim();
+            let list = after
+                .trim_start()
+                .strip_prefix("rules")
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('='))
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('"'))
+                .and_then(|r| r.split_once('"'))
+                .filter(|(_, tail)| tail.trim_start().starts_with(')'))
+                .map(|(list, _)| list)?;
+            let rules: Vec<String> = list
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if name_ok(name) && !rules.is_empty() {
+                Some(HotPath {
+                    name: name.to_string(),
+                    rules,
+                    line,
+                })
+            } else {
+                None
+            }
+        });
+        match parsed {
+            Some(hp) => roots.push(hp),
+            None => bad.push(BadAllow {
+                line,
+                what: "analyze::hot_path needs `name` or `name, rules = \"rule, rule\"`".into(),
+            }),
+        }
+    }
+    (roots, bad)
 }
 
 /// True if `hay` contains `needle` as a whole word (neither neighbour

@@ -1,0 +1,14 @@
+//! Bad: the steady-state root reaches a `.push(` allocation through a
+//! helper. The helper is fine in isolation — only reachability from
+//! the annotated root makes it a finding.
+
+// analyze::hot_path(fixture-steady, rules = "alloc-path")
+pub fn steady_loop(xs: &[u64], out: &mut Vec<u64>) {
+    for x in xs {
+        record(*x, out);
+    }
+}
+
+fn record(x: u64, out: &mut Vec<u64>) {
+    out.push(x);
+}

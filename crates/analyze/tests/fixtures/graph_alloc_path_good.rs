@@ -1,0 +1,14 @@
+//! Good: the same push, justified — the caller pre-sizes the buffer,
+//! so steady state never grows it.
+
+// analyze::hot_path(fixture-steady, rules = "alloc-path")
+pub fn steady_loop(xs: &[u64], out: &mut Vec<u64>) {
+    for x in xs {
+        record(*x, out);
+    }
+}
+
+fn record(x: u64, out: &mut Vec<u64>) {
+    // analyze::allow(alloc-path, reason = "out is reserved to xs.len() by the caller; push never reallocates")
+    out.push(x);
+}

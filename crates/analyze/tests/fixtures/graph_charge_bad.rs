@@ -1,0 +1,38 @@
+//! Bad: a function reachable from a measured-window root touches a
+//! charged structure (`OaTable`) but never reaches a cachesim charge
+//! site — the table access is simulated for free.
+
+pub struct OaTable {
+    slots: Vec<u64>,
+}
+
+impl OaTable {
+    pub fn probe(&self, k: u64) -> bool {
+        self.slots.iter().any(|s| *s == k)
+    }
+}
+
+pub struct Machine {
+    pub stalls: u64,
+}
+
+impl Machine {
+    pub fn stall(&mut self, cycles: u64) {
+        self.stalls += cycles;
+    }
+}
+
+// analyze::hot_path(fixture-window, rules = "charge-coverage")
+pub fn measured(table: &OaTable, keys: &[u64]) -> usize {
+    let mut hits = 0;
+    for k in keys {
+        if hit(table, *k) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn hit(table: &OaTable, k: u64) -> bool {
+    table.probe(k)
+}

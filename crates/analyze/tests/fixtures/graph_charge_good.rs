@@ -1,0 +1,40 @@
+//! Good: the same table touch, but the touching function also reaches
+//! `Machine::stall`, so the access is costed and the charge-coverage
+//! rule is satisfied without any allow.
+
+pub struct OaTable {
+    slots: Vec<u64>,
+}
+
+impl OaTable {
+    pub fn probe(&self, k: u64) -> bool {
+        self.slots.iter().any(|s| *s == k)
+    }
+}
+
+pub struct Machine {
+    pub stalls: u64,
+}
+
+impl Machine {
+    pub fn stall(&mut self, cycles: u64) {
+        self.stalls += cycles;
+    }
+}
+
+// analyze::hot_path(fixture-window, rules = "charge-coverage")
+pub fn measured(table: &OaTable, machine: &mut Machine, keys: &[u64]) -> usize {
+    let mut hits = 0;
+    for k in keys {
+        if hit(table, machine, *k) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn hit(table: &OaTable, machine: &mut Machine, k: u64) -> bool {
+    let found = table.probe(k);
+    machine.stall(1);
+    found
+}

@@ -1,0 +1,22 @@
+//! Bad: the annotated hot path reaches `.unwrap()` two calls away.
+//! The leaf itself never mentions the root — only the call graph
+//! connects them, which is exactly what the taint rule must catch.
+
+static TABLE: [u32; 4] = [1, 2, 3, 4];
+
+// analyze::hot_path(fixture-rx, rules = "panic-path")
+pub fn rx_loop(frames: &[u32]) -> u32 {
+    let mut acc = 0;
+    for f in frames {
+        acc += classify(*f);
+    }
+    acc
+}
+
+fn classify(f: u32) -> u32 {
+    lookup(f)
+}
+
+fn lookup(f: u32) -> u32 {
+    TABLE.iter().position(|t| *t == f).unwrap() as u32
+}

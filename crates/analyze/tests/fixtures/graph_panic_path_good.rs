@@ -1,0 +1,23 @@
+//! Good: the same shape as `graph_panic_path_bad.rs`, but the leaf
+//! hazard carries a justification, so the scan is clean and the reason
+//! lands in the report inventory.
+
+static TABLE: [u32; 4] = [1, 2, 3, 4];
+
+// analyze::hot_path(fixture-rx, rules = "panic-path")
+pub fn rx_loop(frames: &[u32]) -> u32 {
+    let mut acc = 0;
+    for f in frames {
+        acc += classify(*f);
+    }
+    acc
+}
+
+fn classify(f: u32) -> u32 {
+    lookup(f)
+}
+
+fn lookup(f: u32) -> u32 {
+    // analyze::allow(panic-path, reason = "every frame id is drawn from TABLE by the generator")
+    TABLE.iter().position(|t| *t == f).unwrap() as u32
+}

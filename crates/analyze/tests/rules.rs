@@ -237,3 +237,221 @@ fn workspace_scans_clean() {
         .iter()
         .any(|f| matches!(&f.status, Status::Allowed(r) if !r.is_empty())));
 }
+
+// ------------------------------------------------------------------
+// Graph taint rules: fixture pairs (lib API over scan_sources)
+// ------------------------------------------------------------------
+
+use analyze::source::SourceFile;
+use analyze::{scan_sources, GraphConfig};
+
+/// Parses the named fixtures as library files of one virtual crate and
+/// scans them with a GraphConfig requiring exactly `roots`.
+fn scan_graph_fixtures(names: &[&str], roots: &[&str]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = names
+        .iter()
+        .map(|n| {
+            let (path, text) = fixture(n);
+            SourceFile::parse(path, "fixturecrate".to_string(), FileRole::Lib, &text)
+        })
+        .collect();
+    let cfg = GraphConfig {
+        required_roots: roots.iter().map(|s| s.to_string()).collect(),
+        panic_free_files: Vec::new(),
+        panic_free_crates: Vec::new(),
+        sim_crates: Vec::new(),
+        path_markers: Vec::new(),
+    };
+    scan_sources(&files, &cfg)
+}
+
+#[test]
+fn g1_panic_path_bad_fixture_fails_with_call_chain() {
+    let f = scan_graph_fixtures(&["graph_panic_path_bad.rs"], &["fixture-rx"]);
+    let v = violations(&f, "panic-path");
+    assert_eq!(v.len(), 1, "{f:#?}");
+    // The finding names the root and spells out the chain from it.
+    assert!(v[0].message.contains("fixture-rx"), "{}", v[0].message);
+    assert!(
+        v[0].message.contains("rx_loop -> classify -> lookup"),
+        "chain in message: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn g1_panic_path_good_fixture_passes_and_reports_the_reason() {
+    let f = scan_graph_fixtures(&["graph_panic_path_good.rs"], &["fixture-rx"]);
+    assert_clean(&f, "graph_panic_path_good.rs");
+    assert!(
+        f.iter()
+            .any(|x| matches!(&x.status, Status::Allowed(r) if r.contains("drawn from TABLE"))),
+        "justification lands in the inventory: {f:#?}"
+    );
+}
+
+#[test]
+fn g2_alloc_path_bad_fixture_fails() {
+    let f = scan_graph_fixtures(&["graph_alloc_path_bad.rs"], &["fixture-steady"]);
+    let v = violations(&f, "alloc-path");
+    assert_eq!(v.len(), 1, "{f:#?}");
+    assert!(v[0].message.contains(".push("), "{}", v[0].message);
+    // The root is scoped to alloc-path only, so no panic-path findings.
+    assert!(violations(&f, "panic-path").is_empty());
+}
+
+#[test]
+fn g2_alloc_path_good_fixture_passes() {
+    let f = scan_graph_fixtures(&["graph_alloc_path_good.rs"], &["fixture-steady"]);
+    assert_clean(&f, "graph_alloc_path_good.rs");
+}
+
+#[test]
+fn g3_charge_coverage_bad_fixture_fails() {
+    let f = scan_graph_fixtures(&["graph_charge_bad.rs"], &["fixture-window"]);
+    let v = violations(&f, "charge-coverage");
+    assert_eq!(v.len(), 1, "{f:#?}");
+    assert!(
+        v[0].message.contains("touches `OaTable::probe`")
+            && v[0].message.contains("reaches no cachesim charge"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
+fn g3_charge_coverage_good_fixture_passes_without_allows() {
+    let f = scan_graph_fixtures(&["graph_charge_good.rs"], &["fixture-window"]);
+    assert_clean(&f, "graph_charge_good.rs");
+    // Clean because the touch reaches Machine::stall, not because it
+    // was suppressed: the good fixture carries no allow comments.
+    assert!(f
+        .iter()
+        .all(|x| !matches!(&x.status, Status::Allowed(_)) || x.rule != "charge-coverage"));
+}
+
+// ------------------------------------------------------------------
+// Loud failure on stale graph configuration (regression)
+// ------------------------------------------------------------------
+
+#[test]
+fn stale_graph_config_fails_loudly_not_silently() {
+    // A required root that no longer exists anywhere must fail the
+    // scan even though every real hazard is justified.
+    let files: Vec<SourceFile> = [("graph_panic_path_good.rs", "fixturecrate")]
+        .iter()
+        .map(|(n, c)| {
+            let (path, text) = fixture(n);
+            SourceFile::parse(path, c.to_string(), FileRole::Lib, &text)
+        })
+        .collect();
+    let cfg = GraphConfig {
+        required_roots: vec!["fixture-rx".into(), "renamed-away-loop".into()],
+        panic_free_files: vec!["crates/gone/src/table.rs".into()],
+        panic_free_crates: vec!["fixturecrate".into(), "deleted_crate".into()],
+        sim_crates: Vec::new(),
+        path_markers: vec!["impair".into()],
+    };
+    let f = scan_sources(&files, &cfg);
+    let v = violations(&f, "graph-config");
+    let msgs: Vec<&str> = v.iter().map(|x| x.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("renamed-away-loop") && m.contains("annotated nowhere")),
+        "missing root is loud: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("crates/gone/src/table.rs") && m.contains("stale path")),
+        "stale PANIC_FREE_FILES entry is loud: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("deleted_crate") && m.contains("stale crate")),
+        "stale crate entry is loud: {msgs:#?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("`impair`") && m.contains("matches no scanned file")),
+        "empty path-scope is loud: {msgs:#?}"
+    );
+}
+
+#[test]
+fn graph_config_violations_cannot_be_suppressed() {
+    // graph-config findings have no file/line to hang an allow on and
+    // must stay violations even in a file full of allow comments.
+    let f = scan_graph_fixtures(&["graph_panic_path_good.rs"], &["no-such-root"]);
+    assert!(!violations(&f, "graph-config").is_empty(), "{f:#?}");
+}
+
+// ------------------------------------------------------------------
+// clippy.toml stays a subset of the analyzer's determinism ban list
+// ------------------------------------------------------------------
+
+#[test]
+fn clippy_disallowed_lists_are_subset_of_nondeterminism_rules() {
+    use analyze::rules::nondeterminism::{PATH_PATTERNS, WORD_PATTERNS};
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let toml = std::fs::read_to_string(root.join("clippy.toml")).expect("read clippy.toml");
+    // Cheap line-level extraction: every disallowed entry is a table
+    // with a `path = "..."` key on its own line.
+    let paths: Vec<String> = toml
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let (_, rest) = l.split_once("path = \"")?;
+            Some(rest.split('"').next()?.to_string())
+        })
+        .collect();
+    assert!(
+        paths.len() >= 4,
+        "expected the four known disallowed entries, parsed {paths:#?}"
+    );
+    for p in &paths {
+        let covered = PATH_PATTERNS.iter().any(|(pat, _)| p.contains(pat))
+            || WORD_PATTERNS
+                .iter()
+                .any(|(pat, _)| p.split("::").any(|seg| seg == *pat));
+        assert!(
+            covered,
+            "clippy disallows `{p}` but the analyzer's nondeterminism rule would miss it; \
+             add it to PATH_PATTERNS/WORD_PATTERNS so single-file scans agree with clippy"
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// CLI output formats
+// ------------------------------------------------------------------
+
+#[test]
+fn cli_github_format_emits_error_annotations() {
+    let (path, _) = fixture("panic_free_bad.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(["--check", "--path"])
+        .arg(&path)
+        .args(["--crate-name", "core", "--role", "lib", "--format", "github"])
+        .output()
+        .expect("spawn analyze binary");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("::error file=")
+            && l.contains(",line=")
+            && l.contains("panic-free-library")),
+        "github annotations on stdout: {stdout}"
+    );
+
+    // Default (plain) format stays the human-readable one.
+    let plain = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(["--check", "--path"])
+        .arg(&path)
+        .args(["--crate-name", "core", "--role", "lib"])
+        .output()
+        .expect("spawn analyze binary");
+    let plain_out = String::from_utf8_lossy(&plain.stdout);
+    assert!(
+        !plain_out.contains("::error"),
+        "plain format must not emit workflow commands: {plain_out}"
+    );
+}

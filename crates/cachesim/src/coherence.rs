@@ -147,8 +147,10 @@ impl OwnerDir {
             Some(i) => i,
             None => {
                 let i = self.pages.partition_point(|&p| p < page);
+                // analyze::allow(alloc-path, reason = "owner-directory entry is allocated on first touch of a page; steady state updates in place")
                 self.pages.insert(i, page);
                 self.chunks
+                    // analyze::allow(alloc-path, reason = "owner-directory entry is allocated on first touch of a page; steady state updates in place")
                     .insert(i, [NO_OWNER; OWNER_PAGE_LINES as usize]);
                 self.last = i;
                 i

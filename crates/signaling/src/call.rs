@@ -117,6 +117,7 @@ impl SignalingSwitch {
     /// answered with RELEASE COMPLETE. Messages for unknown calls get
     /// RELEASE COMPLETE with cause "invalid call reference", per Q.2931
     /// §5.6.
+    // analyze::hot_path(signaling-call-path, rules = "panic-path")
     pub fn handle(&mut self, msg: &Message) -> Vec<Message> {
         match msg.kind {
             MessageType::Setup => {

@@ -84,6 +84,7 @@ impl<T> Handoff<T> {
             self.items.back().is_none_or(|&(r, _)| r <= ready),
             "hand-off ready times must be non-decreasing"
         );
+        // analyze::allow(alloc-path, reason = "hand-off ring is bounded by cap; deque capacity is warm after the first wrap")
         self.items.push_back((ready, item));
         self.pushed += 1;
         true

@@ -138,6 +138,11 @@ pub fn run_sim_lookup(
     )
 }
 
+// analyze::hot_path(simnet-measured-window, rules = "panic-path, charge-coverage")
+// (alloc-path deliberately not seeded here: the pre-loop setup — pool,
+// sample vectors, NIC ring — allocates by design; the steady-state
+// batch loop reuses those buffers and is covered by the runtime
+// counting-allocator test via `process_batch_into`.)
 fn run_core(
     engine: &mut StackEngine,
     arrivals: &[ImpairedArrival],

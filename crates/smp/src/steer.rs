@@ -184,14 +184,17 @@ impl Steerer {
     /// the next core and the mapping is remembered.
     pub fn core_for(&mut self, flow: &FlowKey) -> usize {
         match self.policy {
+            // analyze::allow(panic-path, reason = "cores >= 1 is asserted by SmpConfig construction")
             DispatchPolicy::FlowHash => flow.rss_hash() as usize % self.cores,
             DispatchPolicy::LayerAffinity => 0,
             DispatchPolicy::RoundRobin => {
                 if let Some(&core) = self.assigned.get(flow) {
                     core
                 } else {
+                    // analyze::allow(panic-path, reason = "cores >= 1 is asserted by SmpConfig construction")
                     let core = self.next_rr % self.cores;
                     self.next_rr += 1;
+                    // analyze::allow(alloc-path, reason = "per-flow steering entry inserted on first sight of a flow; bounded by the flow population")
                     self.assigned.insert(*flow, core);
                     core
                 }
