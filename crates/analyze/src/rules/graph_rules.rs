@@ -45,6 +45,7 @@ pub const REQUIRED_ROOTS: &[&str] = &[
     "netstack-rx",
     "oatable-probe",
     "simnet-measured-window",
+    "smp-closed-loop",
     "signaling-call-path",
 ];
 

@@ -27,6 +27,7 @@ fn main() {
         "figure8",
         "figure9",
         "figure10",
+        "figure13",
         "figure4_regimes",
         "signaling_goal",
         "trace_replay",

@@ -207,3 +207,32 @@ fn impairment_sweep_csv_is_thread_count_invariant() {
     assert!(lossy.recovery.retransmits > 0);
     assert!(lossy.conventional.goodput <= lossy.conventional.throughput);
 }
+
+#[test]
+fn figure13_csv_is_thread_count_invariant() {
+    use bench::figure13::{figure13_rows, sweep, FIGURE13_HEADER};
+
+    // The smoke grid (2 loads × 2 variants × 4 admission policies × 2
+    // retry budgets) exercises the closed-loop driver end to end: the
+    // client-event/acknowledgement frontier, weighted-fair admission,
+    // and the stall-the-producer hand-off path — the places where
+    // worker scheduling could leak into results if acknowledgement
+    // delivery were not causally ordered.
+    let run = |threads| {
+        let opts = RunOpts {
+            smoke: true,
+            ..reduced_opts(threads)
+        };
+        csv_text(&FIGURE13_HEADER, &figure13_rows(&sweep(&opts)))
+    };
+    let serial = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(serial, two, "figure13 CSV differs between 1 and 2 threads");
+    assert_eq!(serial, eight, "figure13 CSV differs between 1 and 8 threads");
+    // Sanity: every cell is present and the grid carries both budgets
+    // and all four admission policies.
+    assert_eq!(serial.lines().count(), 2 * 2 * 4 * 2 + 1);
+    assert!(serial.contains(",wfq,"), "weighted-fair rows present");
+    assert!(serial.contains(",off,"), "unbudgeted-retry rows present");
+}

@@ -65,4 +65,4 @@ pub mod synth;
 
 pub use engine::{Completion, Discipline, StackEngine};
 pub use layer::{SimLayer, SimMessage, SyntheticLayer};
-pub use policy::{stage_partition, AdmissionPolicy, BatchPolicy};
+pub use policy::{stage_partition, weighted_fair_admit, AdmissionPolicy, BatchPolicy};

@@ -73,6 +73,14 @@ pub enum AdmissionPolicy {
         /// Queue length to shed down to (clamped below the capacity).
         down_to: usize,
     },
+    /// Per-class weighted-fair admission: when full, an arrival whose
+    /// class is under its weighted share of the buffer claims a slot
+    /// from the most over-share class (its oldest packet is shed);
+    /// an arrival at or over its share is refused. Class-aware drivers
+    /// decide via [`weighted_fair_admit`]; the class-blind
+    /// [`AdmissionPolicy::admit`] path degrades to tail-drop, since
+    /// without class counts no fair decision exists.
+    WeightedFair,
 }
 
 impl AdmissionPolicy {
@@ -92,7 +100,74 @@ impl AdmissionPolicy {
                 let target = (*down_to).min(capacity.saturating_sub(1));
                 (queue_len - target, true)
             }
+            // Class-blind callers cannot make a fair decision; refuse
+            // the arrival (tail-drop) rather than evict blindly.
+            AdmissionPolicy::WeightedFair => (0, false),
         }
+    }
+}
+
+/// The weighted-fair decision for one arrival, given per-class queue
+/// occupancy ([`AdmissionPolicy::WeightedFair`]; other policies keep
+/// using the class-blind [`AdmissionPolicy::admit`]).
+///
+/// `class_counts[c]` is the number of queued packets of class `c` and
+/// `weights[c]` its share weight (class `c`'s fair share of the buffer
+/// is `capacity * weights[c] / sum(weights)`); `arriving` indexes the
+/// arriving packet's class. Returns `(evict_class, admit)`: when
+/// `evict_class` is `Some(j)` the caller sheds the *oldest* queued
+/// packet of class `j` (charging the shed to `j`), then — if `admit` —
+/// pushes the arrival at the tail.
+///
+/// Under capacity every arrival is admitted with no eviction. At
+/// capacity, an arrival strictly under its share takes a slot from the
+/// most over-share occupied class (largest `count/weight`, ties to the
+/// lowest class index; a zero-weight class with any occupancy is
+/// infinitely over-share); an arrival at or over its share is refused.
+/// All comparisons cross-multiply, so the decision is exact integer
+/// arithmetic — deterministic across platforms.
+pub fn weighted_fair_admit(
+    class_counts: &[u64],
+    weights: &[u32],
+    capacity: usize,
+    arriving: usize,
+) -> (Option<usize>, bool) {
+    let queue_len: u64 = class_counts.iter().sum();
+    if queue_len < capacity as u64 {
+        return (None, true);
+    }
+    let n = |c: usize| -> u64 { class_counts.get(c).copied().unwrap_or(0) };
+    let w = |c: usize| -> u64 { weights.get(c).copied().unwrap_or(0) as u64 };
+    let total_w: u64 = (0..class_counts.len()).map(&w).sum();
+    if total_w == 0 {
+        return (None, false);
+    }
+    // Strictly under share: n(arr)/total < capacity * w(arr)/total_w,
+    // cross-multiplied.
+    if n(arriving) * total_w >= capacity as u64 * w(arriving) {
+        return (None, false);
+    }
+    // Donor: the most over-share occupied class.
+    let mut donor: Option<usize> = None;
+    for c in 0..class_counts.len() {
+        if n(c) == 0 {
+            continue;
+        }
+        let better = match donor {
+            None => true,
+            // n(c)/w(c) > n(d)/w(d)  ⇔  n(c)·w(d) > n(d)·w(c); ties
+            // keep the earlier (lower-index) donor.
+            Some(d) => n(c) * w(d) > n(d) * w(c),
+        };
+        if better {
+            donor = Some(c);
+        }
+    }
+    match donor {
+        Some(d) if d != arriving => (Some(d), true),
+        // Nothing fair to evict (only the arriving class occupies the
+        // queue): refuse rather than churn its own backlog.
+        _ => (None, false),
     }
 }
 
@@ -162,6 +237,63 @@ mod tests {
     #[test]
     fn head_drop_trades_oldest_for_newest() {
         assert_eq!(AdmissionPolicy::HeadDrop.admit(500, 500), (1, true));
+    }
+
+    #[test]
+    fn weighted_fair_admits_under_capacity_like_everyone_else() {
+        assert_eq!(AdmissionPolicy::WeightedFair.admit(499, 500), (0, true));
+        assert_eq!(weighted_fair_admit(&[100, 50, 49], &[4, 1, 2], 500, 1), (None, true));
+    }
+
+    #[test]
+    fn weighted_fair_classless_fallback_is_tail_drop() {
+        assert_eq!(AdmissionPolicy::WeightedFair.admit(500, 500), (0, false));
+    }
+
+    #[test]
+    fn weighted_fair_under_share_arrival_takes_from_the_hog() {
+        // Shares of a 100-slot buffer at weights [4, 1, 2]: ~57/14/28.
+        // DNS (class 1) is under its 14-slot share; RPC (class 2) holds
+        // 60 slots against a 28-slot share and is the most over-share.
+        let counts = [35, 5, 60];
+        assert_eq!(weighted_fair_admit(&counts, &[4, 1, 2], 100, 1), (Some(2), true));
+        // The call class is also under share and likewise claims a slot.
+        assert_eq!(weighted_fair_admit(&counts, &[4, 1, 2], 100, 0), (Some(2), true));
+    }
+
+    #[test]
+    fn weighted_fair_over_share_arrival_is_refused() {
+        // RPC already exceeds its share: refused, nothing evicted.
+        let counts = [35, 5, 60];
+        assert_eq!(weighted_fair_admit(&counts, &[4, 1, 2], 100, 2), (None, false));
+        // Exactly at share (14 of 98 at weight 1/7) is "not strictly
+        // under": refused too.
+        let at_share = [56, 14, 28];
+        assert_eq!(weighted_fair_admit(&at_share, &[4, 1, 2], 98, 1), (None, false));
+    }
+
+    #[test]
+    fn weighted_fair_zero_weight_class_is_first_donor() {
+        // A zero-weight class with any occupancy is infinitely
+        // over-share and donates before everyone.
+        let counts = [10, 89, 1];
+        assert_eq!(weighted_fair_admit(&counts, &[1, 4, 0], 100, 0), (Some(2), true));
+        // And a zero-weight arrival never claims a slot.
+        assert_eq!(weighted_fair_admit(&counts, &[1, 4, 0], 100, 2), (None, false));
+    }
+
+    #[test]
+    fn weighted_fair_sole_occupant_never_evicts_itself() {
+        // Only the arriving class is queued: refuse, don't churn.
+        assert_eq!(weighted_fair_admit(&[0, 4, 0], &[0, 1, 0], 4, 1), (None, false));
+        // All-zero weights cannot make a fair decision: refuse.
+        assert_eq!(weighted_fair_admit(&[2, 1, 1], &[0, 0, 0], 4, 0), (None, false));
+    }
+
+    #[test]
+    fn weighted_fair_ties_go_to_the_lowest_class_index() {
+        // Classes 0 and 1 equally over-share: class 0 donates.
+        assert_eq!(weighted_fair_admit(&[50, 50, 0], &[1, 1, 2], 100, 2), (Some(0), true));
     }
 
     #[test]

@@ -24,79 +24,12 @@ use crate::workload::{RELEASE_BYTES, SETUP_BYTES};
 use simnet::impair::{ImpairConfig, ImpairCounters, ImpairState, ImpairedArrival};
 use simnet::traffic::{PoissonSource, TrafficSource};
 
-/// Retransmission policy of the reliable transport.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RetryPolicy {
-    /// Initial retransmission timeout in seconds (T303-like).
-    pub rto_s: f64,
-    /// Timeout multiplier per retransmission.
-    pub backoff: f64,
-    /// Retransmissions after the initial send before giving up.
-    pub max_retries: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            rto_s: 0.005,
-            backoff: 2.0,
-            max_retries: 3,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Timeout armed after transmission number `sent` (1-based), in
-    /// seconds: `rto_s * backoff^(sent-1)`.
-    pub fn timeout_s(&self, sent: u32) -> f64 {
-        self.rto_s * self.backoff.powi(sent.saturating_sub(1) as i32)
-    }
-}
-
-/// A per-call retransmit timer. Armed at the first transmission; each
-/// [`RetransmitTimer::expire`] yields the retransmission time and re-arms
-/// with the next backoff step, until the retry budget is spent.
-#[derive(Debug, Clone, Copy)]
-pub struct RetransmitTimer {
-    policy: RetryPolicy,
-    sent: u32,
-    deadline_s: f64,
-}
-
-impl RetransmitTimer {
-    /// Arms the timer for a message first transmitted at `now_s`.
-    pub fn arm(policy: RetryPolicy, now_s: f64) -> Self {
-        RetransmitTimer {
-            policy,
-            sent: 1,
-            deadline_s: now_s + policy.timeout_s(1),
-        }
-    }
-
-    /// When the timer fires if no acknowledgement arrives.
-    pub fn deadline_s(&self) -> f64 {
-        self.deadline_s
-    }
-
-    /// Transmissions made so far (initial send included).
-    pub fn transmissions(&self) -> u32 {
-        self.sent
-    }
-
-    /// The timer fired with nothing acknowledged. Returns the time of
-    /// the retransmission it triggers, or `None` once the retry budget
-    /// is exhausted — at which point [`RetransmitTimer::deadline_s`] is
-    /// the moment the call is abandoned.
-    pub fn expire(&mut self) -> Option<f64> {
-        if self.sent > self.policy.max_retries {
-            return None;
-        }
-        let t = self.deadline_s;
-        self.sent += 1;
-        self.deadline_s = t + self.policy.timeout_s(self.sent);
-        Some(t)
-    }
-}
+// The timer machinery is shared with the closed-loop client population
+// (`simnet::closed` uses it from the *client* side, and `signaling`
+// depends on `simnet`, so the definition lives there). The re-export
+// keeps this module's API unchanged; `RetryPolicy` additionally gained
+// an SSCOP-style `max_rto_s` cap on the backed-off timeout.
+pub use simnet::closed::{RetransmitTimer, RetryPolicy};
 
 /// Parameters of a lossy signalling run.
 #[derive(Debug, Clone, Copy)]
@@ -265,6 +198,7 @@ mod tests {
             rto_s: 0.01,
             backoff: 2.0,
             max_retries: 3,
+            ..RetryPolicy::default()
         };
         let mut t = RetransmitTimer::arm(p, 1.0);
         assert_eq!(t.deadline_s(), 1.01);

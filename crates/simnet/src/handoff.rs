@@ -18,20 +18,32 @@
 //! admission policy decides who is dropped) and nothing is silently
 //! lost mid-pipeline — the conservation law stays exact.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// A bounded FIFO of items that become ready at known simulated cycles.
 ///
 /// Ready times must be pushed in non-decreasing order (a single
-/// producing stage finishes batches in time order), which keeps
-/// [`Handoff::next_ready`] and [`Handoff::ready_count`] O(1)-per-item
-/// front scans.
+/// producing stage finishes batches in time order). Because ready
+/// times are monotone, an item observed ready once stays ready, so
+/// [`Handoff::ready_count`] caches the ready-prefix cursor and each
+/// item is compared against the clock at most once over its lifetime
+/// (plus one frontier probe per call) — amortized O(1) per item, as
+/// the SMP event loop polls this once per scheduler pass.
 #[derive(Debug, Clone)]
 pub struct Handoff<T> {
     items: VecDeque<(u64, T)>,
     cap: usize,
     pushed: u64,
     popped: u64,
+    /// Front items already proven ready at `cursor_now`. Interior
+    /// mutability keeps [`Handoff::ready_count`] a `&self` read.
+    ready_cursor: Cell<usize>,
+    /// The clock value the cursor was last advanced against.
+    cursor_now: Cell<u64>,
+    /// Ready-time comparisons performed by the cursor scan; pinned by
+    /// the amortized-cost unit test.
+    scan_cmps: Cell<u64>,
 }
 
 impl<T> Handoff<T> {
@@ -43,6 +55,9 @@ impl<T> Handoff<T> {
             cap,
             pushed: 0,
             popped: 0,
+            ready_cursor: Cell::new(0),
+            cursor_now: Cell::new(0),
+            scan_cmps: Cell::new(0),
         }
     }
 
@@ -72,13 +87,13 @@ impl<T> Handoff<T> {
         self.popped
     }
 
-    /// Parks `item`, visible downstream from cycle `ready`. Returns
-    /// `false` (and drops nothing — the item is handed back untouched
-    /// conceptually; callers size batches by [`Handoff::free`] first)
-    /// when the queue is full.
-    pub fn push(&mut self, ready: u64, item: T) -> bool {
+    /// Parks `item`, visible downstream from cycle `ready`. When the
+    /// queue is full the item is handed back untouched as `Err(item)`
+    /// — a refused push destroys nothing, so flow-controlled producers
+    /// can hold the item and retry once the consumer drains.
+    pub fn push(&mut self, ready: u64, item: T) -> Result<(), T> {
         if self.items.len() == self.cap {
-            return false;
+            return Err(item);
         }
         debug_assert!(
             self.items.back().is_none_or(|&(r, _)| r <= ready),
@@ -87,7 +102,7 @@ impl<T> Handoff<T> {
         // analyze::allow(alloc-path, reason = "hand-off ring is bounded by cap; deque capacity is warm after the first wrap")
         self.items.push_back((ready, item));
         self.pushed += 1;
-        true
+        Ok(())
     }
 
     /// Iterates `(ready, item)` pairs front to back (arrival order).
@@ -101,8 +116,34 @@ impl<T> Handoff<T> {
     }
 
     /// How many items (from the front) are visible at cycle `now`.
+    ///
+    /// Amortized O(1) per item: ready times are non-decreasing, so the
+    /// scan resumes from the cached cursor instead of rescanning the
+    /// whole ready prefix on every poll. If `now` moves backwards
+    /// (e.g. a fresh measurement window), the cursor rescans from the
+    /// front — correctness never depends on a monotone caller clock.
     pub fn ready_count(&self, now: u64) -> usize {
-        self.items.iter().take_while(|&&(r, _)| r <= now).count()
+        let mut k = if now < self.cursor_now.get() {
+            0
+        } else {
+            self.ready_cursor.get().min(self.items.len())
+        };
+        while k < self.items.len() {
+            self.scan_cmps.set(self.scan_cmps.get() + 1);
+            match self.items.get(k) {
+                Some(&(r, _)) if r <= now => k += 1,
+                _ => break,
+            }
+        }
+        self.ready_cursor.set(k);
+        self.cursor_now.set(now);
+        k
+    }
+
+    /// Ready-time comparisons performed by [`Handoff::ready_count`] so
+    /// far — the amortized-cost regression test pins this.
+    pub fn scan_comparisons(&self) -> u64 {
+        self.scan_cmps.get()
     }
 
     /// Pops the front item if it is visible at cycle `now`.
@@ -110,6 +151,11 @@ impl<T> Handoff<T> {
         match self.items.front() {
             Some(&(r, _)) if r <= now => {
                 self.popped += 1;
+                // The popped item sat in the proven-ready prefix; slide
+                // the cursor with the front so it keeps indexing the
+                // same logical position.
+                let cur = self.ready_cursor.get();
+                self.ready_cursor.set(cur.saturating_sub(1));
                 self.items.pop_front().map(|(_, item)| item)
             }
             _ => None,
@@ -125,9 +171,9 @@ mod tests {
     fn fifo_with_ready_times() {
         let mut q: Handoff<u32> = Handoff::new(4);
         assert!(q.is_empty());
-        assert!(q.push(10, 1));
-        assert!(q.push(10, 2));
-        assert!(q.push(25, 3));
+        assert!(q.push(10, 1).is_ok());
+        assert!(q.push(10, 2).is_ok());
+        assert!(q.push(25, 3).is_ok());
         assert_eq!(q.len(), 3);
         assert_eq!(q.next_ready(), Some(10));
         assert_eq!(q.ready_count(9), 0);
@@ -144,11 +190,56 @@ mod tests {
     #[test]
     fn boundedness_refuses_when_full() {
         let mut q: Handoff<u32> = Handoff::new(2);
-        assert!(q.push(1, 1));
-        assert!(q.push(1, 2));
+        assert!(q.push(1, 1).is_ok());
+        assert!(q.push(1, 2).is_ok());
         assert_eq!(q.free(), 0);
-        assert!(!q.push(1, 3), "full queue must refuse");
+        assert_eq!(q.push(1, 3), Err(3), "full queue must refuse");
         assert_eq!(q.len(), 2);
         assert_eq!(q.pushed(), 2, "refused push is not counted");
+    }
+
+    #[test]
+    fn refused_item_is_recoverable() {
+        // A push against a full queue hands the item back intact so a
+        // flow-controlled producer can hold it and retry after a pop —
+        // nothing is silently destroyed mid-pipeline.
+        let mut q: Handoff<String> = Handoff::new(1);
+        assert!(q.push(5, "first".to_string()).is_ok());
+        let held = q.push(6, "second".to_string()).unwrap_err();
+        assert_eq!(held, "second", "refused item comes back unmodified");
+        assert_eq!(q.pop(5), Some("first".to_string()));
+        assert!(q.push(6, held).is_ok(), "held item can be re-offered");
+        assert_eq!(q.pop(6), Some("second".to_string()));
+        assert_eq!((q.pushed(), q.popped()), (2, 2));
+    }
+
+    #[test]
+    fn ready_count_is_amortized_constant_per_item() {
+        // Each item crosses the readiness frontier exactly once, so n
+        // items polled m times cost at most n successful comparisons
+        // plus one frontier probe per poll — not O(n) per poll.
+        let n = 64u64;
+        let mut q: Handoff<u64> = Handoff::new(n as usize);
+        for i in 0..n {
+            assert!(q.push(10 * (i + 1), i).is_ok());
+        }
+        let polls = 200u64;
+        for t in 0..polls {
+            let expect = (4 * t / 10).min(n);
+            assert_eq!(q.ready_count(4 * t), expect as usize);
+        }
+        assert!(
+            q.scan_comparisons() <= n + polls,
+            "cursor scan must be amortized O(1) per item: {} comparisons for {} items / {} polls",
+            q.scan_comparisons(),
+            n,
+            polls
+        );
+        // A stale (smaller) clock still answers correctly by rescanning.
+        assert_eq!(q.ready_count(25), 2);
+        assert_eq!(q.ready_count(4 * polls), n as usize);
+        // Pops slide the cursor with the queue front.
+        assert_eq!(q.pop(4 * polls), Some(0));
+        assert_eq!(q.ready_count(4 * polls), n as usize - 1);
     }
 }

@@ -22,11 +22,16 @@
 //!   in front of any traffic source: independent and Gilbert–Elliott
 //!   burst loss, payload corruption, duplication, and bounded
 //!   reordering, with counters threaded into the report.
+//! * [`closed`] — a closed-loop source: a finite population of
+//!   retrying clients (retransmit timers, exponential backoff, retry
+//!   budgets, think times) whose feedback loop turns overload into the
+//!   metastable collapse `figure13` measures.
 //! * [`par`] — a deterministic parallel executor that fans independent
 //!   (parameter, seed) simulation runs across host cores and returns
 //!   results in index order, so sweep output is byte-identical to the
 //!   serial path.
 
+pub mod closed;
 pub mod handoff;
 pub mod impair;
 pub mod par;
@@ -34,6 +39,10 @@ pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use closed::{
+    AckKind, Class, ClientSend, ClosedConfig, ClosedPopulation, ClosedStats, RetransmitTimer,
+    RetryPolicy,
+};
 pub use handoff::Handoff;
 pub use impair::{
     reorder_deliveries, GilbertElliott, ImpairConfig, ImpairCounters, ImpairedArrival,

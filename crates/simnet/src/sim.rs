@@ -342,6 +342,9 @@ fn run_core(
             drops,
             shed,
             in_flight,
+            // Open-loop sources have no client to stop waiting; the
+            // stale-completion bucket belongs to `smp::run_closed`.
+            abandoned: 0,
             duration_s: cfg.duration_s,
             span_s: last_finish as f64 / cycles_per_s,
             batches,

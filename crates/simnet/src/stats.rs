@@ -4,8 +4,9 @@
 //! Accounting here is conservation-law truthful: every arrival the
 //! simulator was offered is classified as completed, rejected (checksum
 //! failure), dropped (refused admission), shed (evicted by the admission
-//! policy), or left in flight — and [`SimReport::conservation_holds`]
-//! checks that the books balance. Rates are computed over the *actual
+//! policy), left in flight, or — for closed-loop sources — completed
+//! stale after the client stopped waiting (`abandoned`), and
+//! [`SimReport::conservation_holds`] checks that the books balance. Rates are computed over the *actual
 //! processing span* (arrival window plus drain time), not the arrival
 //! window, so an overloaded run can no longer report a throughput it
 //! never achieved.
@@ -27,6 +28,10 @@ pub struct RunTally {
     pub shed: u64,
     /// Packets still queued when the run ended.
     pub in_flight: u64,
+    /// Completions that were stale by the time they finished: the
+    /// closed-loop client had already been acknowledged by another copy
+    /// or had abandoned the request (zero for open-loop sources).
+    pub abandoned: u64,
     /// Arrival window in seconds.
     pub duration_s: f64,
     /// Actual span from start to the last completion, in seconds. Values
@@ -52,6 +57,12 @@ pub struct SimReport {
     pub shed: u64,
     /// Packets still queued when the run ended.
     pub in_flight: u64,
+    /// Stale completions: the server finished the work after the
+    /// closed-loop client stopped waiting for it (acknowledged via
+    /// another copy, or the request abandoned). Always zero for
+    /// open-loop sources; under closed-loop overload this is the wasted
+    /// work that separates throughput from goodput.
+    pub abandoned: u64,
     /// Arrivals presented to the NIC.
     pub offered: u64,
     /// Packets the impairment channel lost upstream of the NIC.
@@ -114,13 +125,17 @@ impl SimReport {
             0.0
         };
         let n = latencies_us.len();
-        let processed = n as u64 + tally.rejected;
+        // Stale (abandoned) completions consumed the machine exactly
+        // like useful ones — they count toward throughput and batch
+        // sizing, never toward goodput (no latency sample is recorded).
+        let processed = n as u64 + tally.rejected + tally.abandoned;
         let mut r = SimReport {
             completed: n as u64,
             rejected: tally.rejected,
             drops: tally.drops,
             shed: tally.shed,
             in_flight: tally.in_flight,
+            abandoned: tally.abandoned,
             offered: tally.offered,
             net_dropped: tally.net.dropped,
             net_corrupted: tally.net.corrupted,
@@ -156,9 +171,17 @@ impl SimReport {
     }
 
     /// True iff every offered arrival is accounted for exactly once:
-    /// `offered == completed + rejected + drops + shed + in_flight`.
+    /// `offered == completed + rejected + drops + shed + in_flight +
+    /// abandoned` (the last term is the closed-loop stale-completion
+    /// bucket, zero for open-loop sources).
     pub fn conservation_holds(&self) -> bool {
-        self.offered == self.completed + self.rejected + self.drops + self.shed + self.in_flight
+        self.offered
+            == self.completed
+                + self.rejected
+                + self.drops
+                + self.shed
+                + self.in_flight
+                + self.abandoned
     }
 
     /// Averages several reports (e.g. over random placements), weighting
@@ -193,6 +216,7 @@ impl SimReport {
             drops: sum_u(|r| r.drops),
             shed: sum_u(|r| r.shed),
             in_flight: sum_u(|r| r.in_flight),
+            abandoned: sum_u(|r| r.abandoned),
             offered: sum_u(|r| r.offered),
             net_dropped: sum_u(|r| r.net_dropped),
             net_corrupted: sum_u(|r| r.net_corrupted),
@@ -414,6 +438,32 @@ mod tests {
         assert_eq!(r.goodput, 2.0, "but it is not useful output");
         assert_eq!(r.mean_imiss, 5.0, "misses averaged over all processed");
         assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn abandoned_work_counts_in_throughput_but_not_goodput() {
+        // Two useful completions plus one stale one (the closed-loop
+        // client had stopped waiting): the machine processed three
+        // messages but only two were useful.
+        let mut lat = vec![1.0, 2.0];
+        let im = [5u64, 5, 5];
+        let t = RunTally {
+            offered: 3,
+            abandoned: 1,
+            duration_s: 1.0,
+            span_s: 1.0,
+            batches: 3,
+            ..RunTally::default()
+        };
+        let r = SimReport::from_samples(&mut lat, &im, &im, t);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.throughput, 3.0, "stale work still consumed the machine");
+        assert_eq!(r.goodput, 2.0, "but delivered nothing the client wanted");
+        assert_eq!(r.mean_batch, 1.0);
+        assert!(r.conservation_holds(), "abandoned closes the books");
+        let avg = SimReport::average(&[r.clone(), r]).expect("non-empty");
+        assert_eq!(avg.abandoned, 1, "averaging carries the bucket");
     }
 
     #[test]

@@ -26,10 +26,23 @@
 //!   shared table has a single owning stage, so after warm-up its
 //!   lines never migrate.
 //!
-//! Boundedness gives backpressure: a stage never takes a batch larger
-//! than its downstream queue's free space, so overload backs up into
-//! the entry queue where the admission policy decides who is dropped —
-//! never silently mid-pipeline.
+//! Boundedness gives backpressure, in one of two flavours
+//! ([`HandoffFlowControl`]): the stock mode sizes every batch to the
+//! downstream queue's free space, so overload backs up into the entry
+//! queue where the admission policy decides who is dropped — never
+//! silently mid-pipeline. The flow-controlled mode lets a producer run
+//! full batches and *stall* when the downstream ring refuses a push:
+//! the refused descriptors wait in a bounded held buffer (hand-offs are
+//! never lost), the producer cannot start new work until they drain,
+//! and the waited cycles are charged to the core and surfaced as
+//! `bp_stall` observability spans.
+//!
+//! Besides the open-loop [`SmpSim::run`], the simulator can drive a
+//! closed-loop client population ([`SmpSim::run_closed`]): completions
+//! are fed back as acknowledgements, retransmit timers fire against the
+//! server's actual response times, and completions whose client already
+//! gave up (or was acknowledged by another copy) land in the
+//! `abandoned` conservation bucket — work the machine did for nobody.
 //!
 //! Timekeeping mirrors [`simnet::sim`]: one global cycle clock; each
 //! core's machine counter only advances while that core processes, and
@@ -45,17 +58,22 @@
 //! Σ entry-queued + Σ hand-off-parked`, asserted at the end of every
 //! run (the last two terms are zero then, because a run drains).
 
-use crate::ring::DescRing;
-use crate::steer::{DispatchPolicy, FlowArrival, Steerer};
+use crate::ring::{Desc, DescRing};
+use crate::steer::{DispatchPolicy, FlowArrival, FlowKey, Steerer};
 use cachesim::{
     CoherenceStats, MachineConfig, MachineStats, Region, ReplayStats, SharedL2, SharedL2Config,
 };
 use ldlp::synth::{paper_stack, MessagePool};
-use ldlp::{stage_partition, AdmissionPolicy, Completion, Discipline, SimMessage, StackEngine};
+use ldlp::{
+    stage_partition, weighted_fair_admit, AdmissionPolicy, Completion, Discipline, SimMessage,
+    StackEngine,
+};
 use obs::{NameId, SpanEvent};
+use simnet::closed::{AckKind, Class, ClientSend, ClosedPopulation};
 use simnet::stats::{RunTally, SimReport};
 use simnet::ImpairCounters;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Where the shared mutable state lives in the flat simulated address
 /// space — disjoint from the code/data/mbuf windows `ldlp::synth` uses.
@@ -67,6 +85,25 @@ const DESC_BYTES: u64 = 64;
 
 /// Layers in the paper stack driven by this simulation.
 const STACK_LAYERS: usize = 5;
+
+/// How a pipeline stage behaves when its downstream hand-off ring has
+/// less free space than the batch it could otherwise run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffFlowControl {
+    /// Size every batch to the downstream ring's free space (the
+    /// original behaviour, and the default): a stage never produces a
+    /// completion it cannot hand off, so pushes are guaranteed and the
+    /// producer never waits.
+    SizeToFree,
+    /// Run full batches and flow-control the hand-off: descriptors the
+    /// ring refuses wait in a bounded held buffer, the producer stalls
+    /// (it starts no new batch until the buffer drains), and the stall
+    /// is charged — `bp_stall_cycles` in the [`CoreReport`], a
+    /// `bp_stall` span in the observability stream. Models a real
+    /// producer that discovers ring occupancy at push time instead of
+    /// sizing its work to a snapshot.
+    StallProducer,
+}
 
 /// Simulation parameters for one multi-core run.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +128,9 @@ pub struct SmpConfig {
     pub buffer_cap: usize,
     /// Capacity of each inter-core hand-off queue, in messages.
     pub handoff_cap: usize,
+    /// What a producer stage does when the downstream ring is fuller
+    /// than its batch.
+    pub flow_control: HandoffFlowControl,
     /// Arrival-window length in seconds (for rate accounting).
     pub duration_s: f64,
     /// Message-buffer pool entries per entry core.
@@ -124,6 +164,7 @@ impl SmpConfig {
             admission: AdmissionPolicy::TailDrop,
             buffer_cap: 500,
             handoff_cap: 64,
+            flow_control: HandoffFlowControl::SizeToFree,
             duration_s: 1.0,
             pool_bufs: 64,
             pool_buf_bytes: 1536,
@@ -168,6 +209,13 @@ pub struct CoreReport {
     pub imisses: u64,
     /// L1 data-cache misses charged to this core.
     pub dmisses: u64,
+    /// Hand-off stall episodes (a batch ended with descriptors the
+    /// downstream ring refused; [`HandoffFlowControl::StallProducer`]).
+    pub bp_stalls: u64,
+    /// Cycles this core spent stalled waiting for downstream ring
+    /// space, from batch end to the pop that freed the last held
+    /// descriptor.
+    pub bp_stall_cycles: u64,
 }
 
 /// Everything one multi-core run produced.
@@ -187,6 +235,12 @@ pub struct SmpOutcome {
     /// Footprint-replay memoizer counters for the run, summed across
     /// cores.
     pub replay: ReplayStats,
+    /// Queued packets shed by the admission policy, by traffic class
+    /// (closed-loop runs; open-loop runs are class-blind and account
+    /// everything to [`Class::Rpc`]).
+    pub shed_by_class: [u64; Class::COUNT],
+    /// Arrivals refused admission, by traffic class (same caveat).
+    pub drops_by_class: [u64; Class::COUNT],
 }
 
 /// Interned per-core observability names.
@@ -196,6 +250,7 @@ struct ObsIds {
     latency: NameId,
     imiss: NameId,
     dmiss: NameId,
+    bp_stall: NameId,
 }
 
 /// One packet waiting in an entry queue.
@@ -205,6 +260,12 @@ struct EntryPkt {
     bytes: u32,
     corrupted: bool,
     flow_id: u32,
+    /// Per-client request sequence number ties a closed-loop completion
+    /// back to the population; 0 for open-loop arrivals.
+    req: u64,
+    /// Traffic class for weighted-fair accounting; open-loop arrivals
+    /// are class-blind and ride as [`Class::Rpc`].
+    class: Class,
 }
 
 struct CoreState {
@@ -215,6 +276,15 @@ struct CoreState {
     /// [`crate::ring`]) carrying each message's accumulated per-message
     /// cost so the final stage can emit whole-path samples.
     inbox: DescRing,
+    /// Descriptors the downstream ring refused at batch end
+    /// ([`HandoffFlowControl::StallProducer`]); the producer is stalled
+    /// until this drains. Bounded by one batch (≤ `pool_bufs`).
+    held: VecDeque<Desc>,
+    /// Global cycle the current stall episode began (batch end).
+    held_since: u64,
+    /// Entry-queue occupancy by traffic class, for weighted-fair
+    /// admission.
+    class_counts: [u64; Class::COUNT],
     busy_until: u64,
     /// Machine cycle count when the current run started.
     m0: u64,
@@ -260,6 +330,22 @@ pub struct SmpSim {
     handoff_msgs: u64,
     batches: u64,
     msg_seq: u64,
+    /// Whether the current run is closed-loop: final-stage completions
+    /// are buffered in `ready_acks` for the driver to classify against
+    /// the client population instead of being counted immediately.
+    closed: bool,
+    /// Stale completions — the machine finished work whose client had
+    /// already been acknowledged or had given up.
+    abandoned: u64,
+    /// Clean final-stage completions awaiting delivery to the client
+    /// population, as `(finish_cycle, message_id, core)` in a min-heap
+    /// (message id breaks finish-time ties deterministically).
+    ready_acks: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// `(client, req)` by message id, for acknowledgement routing.
+    closed_meta: Vec<(u32, u64)>,
+    /// Shed / refused admission counts by traffic class.
+    shed_by_class: [u64; Class::COUNT],
+    drops_by_class: [u64; Class::COUNT],
 }
 
 impl SmpSim {
@@ -292,6 +378,9 @@ impl SmpSim {
                 pool: MessagePool::new(cfg.pool_bufs, cfg.pool_buf_bytes, cfg.placement_seed),
                 entry: VecDeque::with_capacity(entry_cap),
                 inbox: DescRing::new(cfg.handoff_cap),
+                held: VecDeque::with_capacity(cfg.pool_bufs),
+                held_since: 0,
+                class_counts: [0; Class::COUNT],
                 busy_until: 0,
                 m0: 0,
                 icache0: 0,
@@ -326,6 +415,12 @@ impl SmpSim {
             handoff_msgs: 0,
             batches: 0,
             msg_seq: 0,
+            closed: false,
+            abandoned: 0,
+            ready_acks: BinaryHeap::new(),
+            closed_meta: Vec::new(),
+            shed_by_class: [0; Class::COUNT],
+            drops_by_class: [0; Class::COUNT],
             cfg: *cfg,
         }
     }
@@ -352,13 +447,17 @@ impl SmpSim {
                 core.engine.obs_intern("latency_us"),
                 core.engine.obs_intern("imiss_per_msg"),
                 core.engine.obs_intern("dmiss_per_msg"),
+                core.engine.obs_intern("bp_stall"),
             ) {
-                (Some(batch), Some(latency), Some(imiss), Some(dmiss)) => Some(ObsIds {
-                    batch,
-                    latency,
-                    imiss,
-                    dmiss,
-                }),
+                (Some(batch), Some(latency), Some(imiss), Some(dmiss), Some(bp_stall)) => {
+                    Some(ObsIds {
+                        batch,
+                        latency,
+                        imiss,
+                        dmiss,
+                        bp_stall,
+                    })
+                }
                 _ => None,
             };
         }
@@ -389,21 +488,7 @@ impl SmpSim {
 
         let mut next_arrival = 0usize;
         'event: loop {
-            // The earliest startable batch across cores; the strict `<`
-            // breaks ties toward the lowest core index.
-            let mut best: Option<(u64, usize)> = None;
-            for c in 0..self.cores.len() {
-                let Some(ready) = self.next_ready(c) else {
-                    continue;
-                };
-                if self.blocked_downstream(c) {
-                    continue;
-                }
-                let start = ready.max(self.cores[c].busy_until);
-                if best.is_none_or(|(s, _)| start < s) {
-                    best = Some((start, c));
-                }
-            }
+            let mut best = self.scan_best();
 
             // Admissions happen in arrival order before any batch that
             // would start later (inclusive: a batch forming at t sees
@@ -426,7 +511,7 @@ impl SmpSim {
                 if moved_later {
                     continue 'event;
                 }
-                if !self.blocked_downstream(c) {
+                if !self.blocked_downstream(c) && self.cores[c].held.is_empty() {
                     if let Some(ready) = self.next_ready(c) {
                         let start = ready.max(self.cores[c].busy_until);
                         if best.is_none_or(|(s, bc)| start < s || (start == s && c < bc)) {
@@ -441,9 +526,33 @@ impl SmpSim {
                 break;
             };
             self.run_batch(c, start);
+            self.flush_held(c, start);
         }
 
         self.assert_conservation();
+    }
+
+    /// The earliest startable batch across cores — the strict `<`
+    /// breaks ties toward the lowest core index. Cores stalled on a
+    /// refused hand-off (non-empty held buffer) cannot start work.
+    fn scan_best(&self) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for c in 0..self.cores.len() {
+            if !self.cores[c].held.is_empty() {
+                continue;
+            }
+            let Some(ready) = self.next_ready(c) else {
+                continue;
+            };
+            if self.blocked_downstream(c) {
+                continue;
+            }
+            let start = ready.max(self.cores[c].busy_until);
+            if best.is_none_or(|(s, _)| start < s) {
+                best = Some((start, c));
+            }
+        }
+        best
     }
 
     /// Assembles the run's [`SmpOutcome`]. Allocates — call it outside
@@ -468,6 +577,7 @@ impl SmpSim {
                 drops,
                 shed,
                 in_flight: 0,
+                abandoned: self.abandoned,
                 duration_s: self.cfg.duration_s,
                 span_s: self.last_finish as f64 / self.cycles_per_s,
                 batches: self.batches,
@@ -497,6 +607,8 @@ impl SmpSim {
             coherence: self.shared.stats(),
             handoff_msgs: self.handoff_msgs,
             replay,
+            shed_by_class: self.shed_by_class,
+            drops_by_class: self.drops_by_class,
         }
     }
 
@@ -509,17 +621,25 @@ impl SmpSim {
         self.handoff_msgs = 0;
         self.batches = 0;
         self.msg_seq = 0;
+        self.closed = false;
+        self.abandoned = 0;
+        self.ready_acks.clear();
+        self.closed_meta.clear();
+        self.shed_by_class = [0; Class::COUNT];
+        self.drops_by_class = [0; Class::COUNT];
         self.shared.reset_stats();
         for core in &mut self.cores {
             core.rep = CoreReport::default();
             core.busy_until = 0;
+            core.held_since = 0;
+            core.class_counts = [0; Class::COUNT];
             core.m0 = core.engine.machine().cycles();
             let stats = core.engine.machine().stats();
             core.icache0 = stats.icache.misses;
             core.dcache0 = stats.dcache.misses;
             core.replay0 = core.engine.machine().replay_stats();
             // analyze::allow(charge-coverage, reason = "head/tail occupancy reads model core-local ring registers; slot data movement is charged at push/pop via SharedL2 read/write")
-            debug_assert!(core.entry.is_empty() && core.inbox.is_empty());
+            debug_assert!(core.entry.is_empty() && core.inbox.is_empty() && core.held.is_empty());
         }
     }
 
@@ -533,8 +653,13 @@ impl SmpSim {
     }
 
     fn blocked_downstream(&self, c: usize) -> bool {
-        // analyze::allow(charge-coverage, reason = "head/tail occupancy reads model core-local ring registers; slot data movement is charged at push/pop via SharedL2 read/write")
-        self.pipeline && c + 1 < self.stages && self.cores[c + 1].inbox.free() == 0
+        // Under StallProducer a full downstream ring never gates batch
+        // *start* — the producer runs, then stalls on the refused push.
+        self.pipeline
+            && c + 1 < self.stages
+            && self.cfg.flow_control == HandoffFlowControl::SizeToFree
+            // analyze::allow(charge-coverage, reason = "head/tail occupancy reads model core-local ring registers; slot data movement is charged at push/pop via SharedL2 read/write")
+            && self.cores[c + 1].inbox.free() == 0
     }
 
     /// Steers one arrival into its entry queue. Returns the core index
@@ -548,19 +673,27 @@ impl SmpSim {
         let was_empty = core.entry.is_empty();
         let (evict, admit) = self.cfg.admission.admit(core.entry.len(), self.entry_cap);
         for _ in 0..evict {
-            core.entry.pop_front();
+            if let Some(victim) = core.entry.pop_front() {
+                let vi = victim.class.index();
+                core.class_counts[vi] = core.class_counts[vi].saturating_sub(1);
+                self.shed_by_class[vi] += 1;
+            }
             core.rep.shed += 1;
         }
         if admit {
+            core.class_counts[Class::Rpc.index()] += 1;
             // analyze::allow(alloc-path, reason = "pending queue is bounded by the arrival schedule; capacity is warm after the first batch")
             core.entry.push_back(EntryPkt {
                 arr: t,
                 bytes: a.bytes,
                 corrupted: a.corrupted,
                 flow_id: a.flow_id,
+                req: 0,
+                class: Class::Rpc,
             });
         } else {
             core.rep.drops += 1;
+            self.drops_by_class[Class::Rpc.index()] += 1;
         }
         // analyze::allow(charge-coverage, reason = "head/tail occupancy reads model core-local ring registers; slot data movement is charged at push/pop via SharedL2 read/write")
         (c, evict > 0 || (was_empty && !core.inbox.is_empty()))
@@ -588,7 +721,11 @@ impl SmpSim {
         let owns_top = !self.pipeline || c + 1 == self.stages;
         let handoff_cap = self.cfg.handoff_cap;
 
-        let downstream_free = if has_down {
+        let stall_mode = self.cfg.flow_control == HandoffFlowControl::StallProducer;
+        // Under StallProducer the batch is sized by the engine alone;
+        // whatever the downstream ring refuses at push time is held and
+        // the producer stalls.
+        let downstream_free = if has_down && !stall_mode {
             self.cores[c + 1].inbox.free()
         } else {
             usize::MAX
@@ -655,10 +792,18 @@ impl SmpSim {
                 let Some(pkt) = core.entry.pop_front() else {
                     break;
                 };
+                let pi = pkt.class.index();
+                core.class_counts[pi] = core.class_counts[pi].saturating_sub(1);
                 let mut msg = core.pool.make_message(self.msg_seq, u64::from(pkt.bytes));
                 msg.arrival_cycles = pkt.arr;
                 msg.corrupted = pkt.corrupted;
                 self.msg_seq += 1;
+                if self.closed {
+                    // Route the eventual completion back to the client:
+                    // `closed_meta[msg.id]` is `(client, req)`.
+                    // analyze::allow(alloc-path, reason = "one entry per admitted message; capacity grows once per run")
+                    self.closed_meta.push((pkt.flow_id, pkt.req));
+                }
                 // analyze::allow(alloc-path, reason = "per-core SoA batch/report buffers are reused across batches; capacity is warm in steady state")
                 core.batch.push(msg);
                 // analyze::allow(alloc-path, reason = "per-core SoA batch/report buffers are reused across batches; capacity is warm in steady state")
@@ -764,6 +909,24 @@ impl SmpSim {
                         rec.record_value(ids.dmiss, dm);
                     }
                 }
+            } else if is_final && self.closed {
+                // Useful-vs-stale classification happens when the driver
+                // feeds this completion back to the population; the
+                // machine work is spent either way, so the miss samples
+                // and span clock advance now, latency/goodput later.
+                // analyze::allow(alloc-path, reason = "per-core SoA batch/report buffers are reused across batches; capacity is warm in steady state")
+                self.imisses.push(im);
+                // analyze::allow(alloc-path, reason = "per-core SoA batch/report buffers are reused across batches; capacity is warm in steady state")
+                self.dmisses.push(dm);
+                self.last_finish = self.last_finish.max(finish);
+                // analyze::allow(alloc-path, reason = "ack buffer is bounded by in-flight completions; capacity is warm in steady state")
+                self.ready_acks.push(Reverse((finish, core.batch[k].id, c)));
+                if let Some(ids) = core.obs {
+                    if let Some(rec) = core.engine.sink_mut().on_mut() {
+                        rec.record_value(ids.imiss, im);
+                        rec.record_value(ids.dmiss, dm);
+                    }
+                }
             } else if is_final {
                 core.rep.completed += 1;
                 let lat_cycles = finish.saturating_sub(arr);
@@ -787,8 +950,87 @@ impl SmpSim {
                     down.inbox
                         // analyze::allow(alloc-path, reason = "per-core SoA batch/report buffers are reused across batches; capacity is warm in steady state")
                         .push(end_global, &core.batch[k], arr, core.b_flow[k], im, dm);
-                debug_assert!(pushed, "batch was sized by downstream free space");
-                self.handoff_msgs += 1;
+                if pushed {
+                    self.handoff_msgs += 1;
+                } else {
+                    // Only StallProducer sizes batches past downstream
+                    // free space; the refused descriptor parks in the
+                    // bounded held buffer — never lost — and the core
+                    // stalls until the consumer pops.
+                    debug_assert!(stall_mode, "batch was sized by downstream free space");
+                    // analyze::allow(alloc-path, reason = "held buffer is bounded by one batch (pool_bufs); capacity is reserved at construction")
+                    core.held.push_back(Desc {
+                        msg: core.batch[k],
+                        arr,
+                        flow_id: core.b_flow[k],
+                        imiss: im,
+                        dmiss: dm,
+                    });
+                }
+            }
+        }
+
+        if !core.held.is_empty() {
+            // Stall episode: charged and surfaced when it resolves in
+            // `flush_held`.
+            core.rep.bp_stalls += 1;
+            core.held_since = end_global;
+        }
+    }
+
+    /// After core `c` ran a batch (popping its inbox at `start`), move
+    /// as many of the upstream producer's held descriptors as now fit.
+    /// When the buffer drains the producer's stall ends: the cycles it
+    /// waited are charged to the core and emitted as a `bp_stall` span.
+    fn flush_held(&mut self, c: usize, start: u64) {
+        if !self.pipeline || c == 0 || c >= self.stages {
+            return;
+        }
+        let (left, right) = self.cores.split_at_mut(c);
+        let (Some(prod), Some(cons)) = (left.last_mut(), right.first_mut()) else {
+            return;
+        };
+        if prod.held.is_empty() {
+            return;
+        }
+        // The transfer happens when space frees (the consumer's pops at
+        // `start`) or when the producer finished producing, whichever
+        // is later.
+        let t_flush = start.max(prod.held_since);
+        let mut moved = 0u32;
+        // analyze::allow(charge-coverage, reason = "head/tail occupancy reads model core-local ring registers; slot data movement is charged at push/pop via SharedL2 read/write")
+        while cons.inbox.free() > 0 {
+            let Some(d) = prod.held.pop_front() else {
+                break;
+            };
+            // The descriptor bytes were already written (and charged)
+            // during the producing batch; the stall was pure waiting.
+            // analyze::allow(charge-coverage, reason = "descriptor slot bytes were charged via SharedL2 write during the producing batch; releasing a held descriptor is pure waiting, no new data movement")
+            // analyze::allow(alloc-path, reason = "ring storage is preallocated at construction; push writes in place")
+            let pushed = cons.inbox.push(t_flush, &d.msg, d.arr, d.flow_id, d.imiss, d.dmiss);
+            debug_assert!(pushed, "free space was checked above");
+            self.handoff_msgs += 1;
+            moved += 1;
+        }
+        if prod.held.is_empty() {
+            let stalled = t_flush - prod.held_since;
+            prod.rep.bp_stall_cycles += stalled;
+            prod.busy_until = prod.busy_until.max(t_flush);
+            if stalled > 0 {
+                let m_now = prod.engine.machine().cycles();
+                if let Some(ids) = prod.obs {
+                    if let Some(rec) = prod.engine.sink_mut().on_mut() {
+                        rec.span(SpanEvent {
+                            name: ids.bp_stall,
+                            start: m_now,
+                            dur: stalled,
+                            batch: moved,
+                            aux: t_flush,
+                            imisses: 0,
+                            dmisses: 0,
+                        });
+                    }
+                }
             }
         }
     }
@@ -807,16 +1049,189 @@ impl SmpSim {
             shed += core.rep.shed;
             queued += core.entry.len() as u64;
             // analyze::allow(charge-coverage, reason = "head/tail occupancy reads model core-local ring registers; slot data movement is charged at push/pop via SharedL2 read/write")
-            parked += core.inbox.len() as u64;
+            parked += core.inbox.len() as u64 + core.held.len() as u64;
         }
+        let unacked = self.ready_acks.len() as u64;
         assert_eq!(
             self.offered,
-            completed + rejected + drops + shed + queued + parked,
+            completed + rejected + drops + shed + queued + parked + unacked + self.abandoned,
             "multi-core conservation violated: offered {} != completed {completed} + \
              rejected {rejected} + drops {drops} + shed {shed} + entry-queued {queued} + \
-             hand-off-parked {parked}",
-            self.offered
+             hand-off-parked {parked} + unacked {unacked} + abandoned {}",
+            self.offered,
+            self.abandoned
         );
+    }
+
+    /// Runs a closed-loop client population to drain: transmissions are
+    /// pulled from `pop` up to the causality frontier (the earliest
+    /// possible next batch start), completions are fed back as
+    /// acknowledgements in finish order, and completions whose client
+    /// already gave up or was already acknowledged count as `abandoned`
+    /// — machine work done for nobody, the metastability signal
+    /// `figure13` sweeps. `weights` are the per-class shares used when
+    /// the admission policy is [`AdmissionPolicy::WeightedFair`]
+    /// (ignored otherwise).
+    ///
+    /// Causal exactness: batches run in non-decreasing start order, so
+    /// every acknowledgement that could cancel a client timer at time t
+    /// is delivered before any event at t fires, and client events
+    /// before an acknowledgement's finish time fire before the
+    /// acknowledgement lands (`poll_sends` up to the frontier first).
+    // analyze::hot_path(smp-closed-loop, rules = "panic-path, charge-coverage")
+    pub fn run_closed(&mut self, pop: &mut ClosedPopulation, weights: [u32; Class::COUNT]) {
+        self.reset_run();
+        self.closed = true;
+
+        let mut sends: Vec<ClientSend> = Vec::new();
+        let mut pending: VecDeque<ClientSend> = VecDeque::new();
+
+        loop {
+            // Client-side fixpoint: fire every think/timer event,
+            // deliver every acknowledgement, and admit every pending
+            // transmission that happens at or before the earliest
+            // possible next batch start. Events win finish-time ties
+            // against acknowledgements (a timer due exactly when the
+            // ack lands still fires), matching `signaling::recovery`.
+            loop {
+                let frontier = self.scan_best().map_or(u64::MAX, |(s, _)| s);
+                let next_ev = pop.next_event_time();
+                let next_ev_cyc = next_ev.map(|t| self.to_cycles(t));
+                let next_send = pending.front().map(|s| self.to_cycles(s.time_s));
+                let next_ack = self.ready_acks.peek().map(|Reverse(a)| a.0);
+
+                let ev_le = |a: Option<u64>, b: Option<u64>| match (a, b) {
+                    (Some(x), Some(y)) => x <= y,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if ev_le(next_ev_cyc, next_send) && ev_le(next_ev_cyc, next_ack) {
+                    let (Some(t_s), Some(t)) = (next_ev, next_ev_cyc) else {
+                        break; // nothing pending anywhere
+                    };
+                    if t > frontier {
+                        break;
+                    }
+                    sends.clear();
+                    pop.poll_sends(t_s, &mut sends);
+                    pending.extend(sends.drain(..));
+                } else if ev_le(next_send, next_ack) {
+                    let Some(t) = next_send else { break };
+                    if t > frontier {
+                        break;
+                    }
+                    let Some(s) = pending.pop_front() else { break };
+                    self.offered += 1;
+                    self.admit_closed(&s, t, weights);
+                } else {
+                    let Some(t) = next_ack else { break };
+                    if t > frontier {
+                        break;
+                    }
+                    let Some(Reverse((finish, id, core_idx))) = self.ready_acks.pop() else {
+                        break;
+                    };
+                    let finish_s = finish as f64 / self.cycles_per_s;
+                    // Any boundary straggler events (cycle rounding)
+                    // fire before the acknowledgement lands.
+                    sends.clear();
+                    pop.poll_sends(finish_s, &mut sends);
+                    pending.extend(sends.drain(..));
+                    let (client, req) =
+                        self.closed_meta.get(id as usize).copied().unwrap_or((u32::MAX, 0));
+                    match pop.ack(client, req, finish_s) {
+                        AckKind::Useful { latency_us } => {
+                            if let Some(core) = self.cores.get_mut(core_idx) {
+                                core.rep.completed += 1;
+                                if let Some(ids) = core.obs {
+                                    if let Some(rec) = core.engine.sink_mut().on_mut() {
+                                        rec.record_value(ids.latency, latency_us as u64);
+                                    }
+                                }
+                            }
+                            // analyze::allow(alloc-path, reason = "latency samples are bounded by useful completions; capacity is warm in steady state")
+                            self.latencies_us.push(latency_us);
+                        }
+                        AckKind::Stale => self.abandoned += 1,
+                    }
+                }
+            }
+
+            let Some((start, c)) = self.scan_best() else {
+                // The fixpoint ran with an unbounded frontier and found
+                // nothing: no events, no sends, no acks, no startable
+                // core — the run has drained.
+                break;
+            };
+            self.run_batch(c, start);
+            self.flush_held(c, start);
+        }
+
+        self.assert_conservation();
+    }
+
+    fn to_cycles(&self, t_s: f64) -> u64 {
+        (t_s * self.cycles_per_s).round() as u64
+    }
+
+    /// Steers and admits one closed-loop transmission, maintaining
+    /// per-class occupancy for weighted-fair admission and per-class
+    /// shed/drop accounting for every policy.
+    fn admit_closed(&mut self, s: &ClientSend, t: u64, weights: [u32; Class::COUNT]) {
+        let key = FlowKey::synth(s.client, self.cfg.placement_seed);
+        let c = self.steer.core_for(&key);
+        let Some(core) = self.cores.get_mut(c) else {
+            return;
+        };
+        let ci = s.class.index();
+        let wfq = self.cfg.admission == AdmissionPolicy::WeightedFair;
+        let (evict_class, admit) = if wfq {
+            weighted_fair_admit(&core.class_counts, &weights, self.entry_cap, ci)
+        } else {
+            // Class-blind policies evict from the queue head; encode
+            // that as "evict whatever class is at the front".
+            let (evict, admit) = self.cfg.admission.admit(core.entry.len(), self.entry_cap);
+            debug_assert!(evict <= core.entry.len());
+            for _ in 0..evict {
+                if let Some(victim) = core.entry.pop_front() {
+                    let vi = victim.class.index();
+                    core.class_counts[vi] = core.class_counts[vi].saturating_sub(1);
+                    self.shed_by_class[vi] += 1;
+                    core.rep.shed += 1;
+                }
+            }
+            (None, admit)
+        };
+        if let Some(d) = evict_class {
+            // Weighted-fair donor: shed the *oldest* queued packet of
+            // the most over-share class. Rotate it to the front, pop
+            // it, rotate back — FIFO order of the survivors holds.
+            if let Some(pos) = core.entry.iter().position(|p| p.class.index() == d) {
+                core.entry.rotate_left(pos);
+                if let Some(victim) = core.entry.pop_front() {
+                    let vi = victim.class.index();
+                    core.class_counts[vi] = core.class_counts[vi].saturating_sub(1);
+                    self.shed_by_class[vi] += 1;
+                    core.rep.shed += 1;
+                }
+                core.entry.rotate_right(pos.min(core.entry.len()));
+            }
+        }
+        if admit {
+            core.class_counts[ci] += 1;
+            // analyze::allow(alloc-path, reason = "pending queue is bounded by the arrival schedule; capacity is warm after the first batch")
+            core.entry.push_back(EntryPkt {
+                arr: t,
+                bytes: s.bytes,
+                corrupted: s.corrupted,
+                flow_id: s.client,
+                req: s.req,
+                class: s.class,
+            });
+        } else {
+            core.rep.drops += 1;
+            self.drops_by_class[ci] += 1;
+        }
     }
 }
 
@@ -1016,6 +1431,175 @@ mod tests {
             out.report.offered,
             out.report.completed + out.report.rejected + out.report.drops + out.report.shed
         );
+    }
+
+    #[test]
+    fn stall_producer_mode_loses_nothing_and_charges_stalls() {
+        let mut c = cfg(
+            2,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        c.buffer_cap = 64;
+        c.handoff_cap = 4;
+        c.flow_control = HandoffFlowControl::StallProducer;
+        let arr = arrivals(60_000.0, 0.2, 16, 7);
+        let out = run_smp(&c, &arr);
+        assert!(out.report.conservation_holds());
+        // Drained fully: nothing left in queues, rings, or held buffers.
+        assert_eq!(
+            out.report.offered,
+            out.report.completed + out.report.rejected + out.report.drops + out.report.shed
+        );
+        assert!(out.report.completed > 0);
+        let stage0 = out.per_core[0];
+        assert!(stage0.bp_stalls > 0, "a 4-deep ring under overload must stall the producer");
+        assert!(stage0.bp_stall_cycles > 0, "stalls cost cycles");
+        // The final stage has no downstream and can never stall.
+        let last = out.per_core[out.per_core.len() - 1];
+        assert_eq!(last.bp_stalls + last.bp_stall_cycles, 0);
+        // The stock mode never stalls anywhere.
+        c.flow_control = HandoffFlowControl::SizeToFree;
+        let base = run_smp(&c, &arr);
+        assert!(base.per_core.iter().all(|r| r.bp_stalls == 0 && r.bp_stall_cycles == 0));
+    }
+
+    #[test]
+    fn stall_producer_runs_are_deterministic() {
+        let mut c = cfg(
+            3,
+            DispatchPolicy::LayerAffinity,
+            Discipline::Ldlp(BatchPolicy::DCacheFit),
+        );
+        c.handoff_cap = 8;
+        c.flow_control = HandoffFlowControl::StallProducer;
+        let arr = arrivals(30_000.0, 0.2, 16, 9);
+        let a = run_smp(&c, &arr);
+        let b = run_smp(&c, &arr);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.per_core, b.per_core);
+        assert_eq!(a.coherence, b.coherence);
+    }
+
+    fn closed_pop(clients: u32, think_s: f64, duration_s: f64, seed: u64) -> ClosedPopulation {
+        ClosedPopulation::new(&simnet::ClosedConfig::new(clients, think_s, duration_s, seed))
+    }
+
+    #[test]
+    fn closed_loop_light_load_acks_every_request() {
+        let c = cfg(1, DispatchPolicy::FlowHash, Discipline::Conventional);
+        let mut pop = closed_pop(20, 0.01, 0.2, 5);
+        let mut sim = SmpSim::new(&c);
+        sim.run_closed(&mut pop, [1, 1, 1]);
+        let out = sim.outcome(pop.channel_counters());
+        let st = *pop.stats();
+        assert!(st.useful > 50, "a light closed loop keeps cycling");
+        assert_eq!(out.report.completed, st.useful, "every useful ack is a completion");
+        assert_eq!(out.report.offered, st.offered, "server sees what the channel delivered");
+        assert_eq!(out.report.abandoned, 0, "fast service leaves nothing stale");
+        assert_eq!(st.abandoned_requests, 0);
+        assert_eq!(st.transmissions, st.requests, "no retries at light load");
+        assert!(out.report.conservation_holds());
+        assert_eq!(out.report.mean_latency_us, {
+            let l = pop.latencies_us();
+            l.iter().sum::<f64>() / l.len() as f64
+        });
+    }
+
+    #[test]
+    fn closed_overload_retries_amplify_and_stale_work_is_conserved() {
+        // A deliberately slow server: one core, a deep client
+        // population, and a hair-trigger client RTO. Retransmitted
+        // copies pile into the queue; the first copy to complete acks
+        // the client and the rest finish stale (`abandoned`).
+        let mut c = cfg(1, DispatchPolicy::FlowHash, Discipline::Conventional);
+        c.buffer_cap = 256;
+        let mut pc = simnet::ClosedConfig::new(300, 1e-4, 0.05, 11);
+        pc.retry = simnet::RetryPolicy {
+            rto_s: 0.001,
+            ..simnet::RetryPolicy::default()
+        };
+        let mut pop = ClosedPopulation::new(&pc);
+        let mut sim = SmpSim::new(&c);
+        sim.run_closed(&mut pop, [1, 1, 1]);
+        let out = sim.outcome(pop.channel_counters());
+        let st = *pop.stats();
+        assert!(st.retry_amplification() > 1.2, "overload must trigger retries");
+        assert!(out.report.abandoned > 0, "duplicate copies complete stale");
+        assert!(out.report.conservation_holds());
+        // Drained: offered splits exactly into the terminal buckets.
+        assert_eq!(
+            out.report.offered,
+            out.report.completed
+                + out.report.rejected
+                + out.report.drops
+                + out.report.shed
+                + out.report.abandoned
+        );
+        // Goodput counts useful acks only; throughput counts stale too.
+        assert!(out.report.throughput > out.report.goodput);
+    }
+
+    #[test]
+    fn closed_weighted_fair_sheds_the_overweight_class() {
+        // Weights heavily favour call + dns; the rpc class is capped at
+        // a sliver of the buffer, so under overload its packets are the
+        // ones shed or refused.
+        let mut c = cfg(1, DispatchPolicy::FlowHash, Discipline::Conventional);
+        c.admission = AdmissionPolicy::WeightedFair;
+        c.buffer_cap = 64;
+        let mut pc = simnet::ClosedConfig::new(300, 1e-4, 0.05, 13);
+        pc.retry = simnet::RetryPolicy {
+            rto_s: 0.001,
+            ..simnet::RetryPolicy::default()
+        };
+        let weights = [8, 8, 1];
+        let mut pop = ClosedPopulation::new(&pc);
+        let mut sim = SmpSim::new(&c);
+        sim.run_closed(&mut pop, weights);
+        let out = sim.outcome(pop.channel_counters());
+        let st = *pop.stats();
+        assert!(out.report.conservation_holds());
+        let rpc = Class::Rpc.index();
+        let lost_rpc = out.shed_by_class[rpc] + out.drops_by_class[rpc];
+        let lost_call = out.shed_by_class[0] + out.drops_by_class[0];
+        assert!(
+            lost_rpc > lost_call,
+            "the 1-weight class must absorb the overload: rpc lost {lost_rpc}, call lost {lost_call}"
+        );
+        // The favoured classes resolve a larger fraction of their
+        // requests than the squeezed one.
+        let frac = |i: usize| st.per_class_useful[i] as f64 / st.per_class_requests[i].max(1) as f64;
+        assert!(
+            frac(0) >= frac(rpc),
+            "call fraction {} vs rpc fraction {}",
+            frac(0),
+            frac(rpc)
+        );
+    }
+
+    #[test]
+    fn closed_runs_are_deterministic_across_modes() {
+        for fc in [HandoffFlowControl::SizeToFree, HandoffFlowControl::StallProducer] {
+            let mut c = cfg(
+                4,
+                DispatchPolicy::LayerAffinity,
+                Discipline::Ldlp(BatchPolicy::DCacheFit),
+            );
+            c.handoff_cap = 8;
+            c.flow_control = fc;
+            let run = || {
+                let mut pop = closed_pop(60, 5e-4, 0.1, 17);
+                let mut sim = SmpSim::new(&c);
+                sim.run_closed(&mut pop, [4, 1, 2]);
+                (sim.outcome(pop.channel_counters()), *pop.stats())
+            };
+            let (o1, s1) = run();
+            let (o2, s2) = run();
+            assert_eq!(o1.report, o2.report, "{fc:?}");
+            assert_eq!(o1.per_core, o2.per_core, "{fc:?}");
+            assert_eq!(s1, s2, "{fc:?}");
+        }
     }
 
     #[test]

@@ -15,12 +15,15 @@
 
 use proptest::prelude::*;
 use smp::{
-    run_smp_impaired, tag_flows, tag_impaired, DispatchPolicy, FlowKey, SmpConfig, Steerer,
+    run_smp_impaired, tag_flows, tag_impaired, DispatchPolicy, FlowKey, HandoffFlowControl,
+    SmpConfig, SmpSim, Steerer,
 };
 
-use ldlp::{BatchPolicy, Discipline};
+use ldlp::{AdmissionPolicy, BatchPolicy, Discipline};
+use simnet::closed::ClosedPopulation;
 use simnet::impair::{impair_arrivals, ImpairConfig};
 use simnet::traffic::{PoissonSource, TrafficSource};
+use simnet::ClosedConfig;
 
 fn policies() -> [DispatchPolicy; 3] {
     [
@@ -168,5 +171,100 @@ proptest! {
         // The per-core tallies must agree with the aggregate report.
         let per_core: u64 = out.per_core.iter().map(|c| c.completed).sum();
         prop_assert_eq!(per_core, r.completed, "per-core completions disagree");
+    }
+
+    /// The conservation law for the *closed-loop* source: with retrying
+    /// clients feeding back on completions, an arbitrary
+    /// duplication + corruption channel, any admission policy
+    /// (including weighted-fair with arbitrary weights), either
+    /// hand-off flow-control mode, and any retry budget, a drained run
+    /// splits `offered` exactly into
+    /// `completed + rejected + drops + shed + abandoned` — duplicate
+    /// copies the server finishes after the client was acknowledged
+    /// land in `abandoned`, never vanish.
+    #[test]
+    fn closed_loop_conservation_holds_under_impairments(
+        cores in 1usize..9,
+        clients in 3u32..60,
+        dup_pct in 0u32..40,
+        corrupt_pct in 0u32..40,
+        seed in 1u64..64,
+        ldlp in any::<bool>(),
+        policy_idx in 0usize..3,
+        admission_idx in 0usize..4,
+        budget_on in any::<bool>(),
+        stall in any::<bool>(),
+    ) {
+        // Derived, not drawn: the vendored proptest samples tuples of at
+        // most ten strategies. Spans 1..=7 per class across seeds.
+        let weights = [
+            1 + (seed % 7) as u32,
+            1 + ((seed / 7) % 7) as u32,
+            1 + ((seed / 49) % 7) as u32,
+        ];
+        let duration_s = 0.02;
+        let mut pc = ClosedConfig::new(clients, 0.002, duration_s, seed);
+        pc.retry_budget_on = budget_on;
+        pc.channel = ImpairConfig {
+            dup_prob: dup_pct as f64 / 100.0,
+            corrupt_prob: corrupt_pct as f64 / 100.0,
+            seed: seed ^ 0xc0de,
+            ..ImpairConfig::default()
+        };
+        let mut pop = ClosedPopulation::new(&pc);
+        let discipline = if ldlp {
+            Discipline::Ldlp(BatchPolicy::DCacheFit)
+        } else {
+            Discipline::Conventional
+        };
+        let admissions = [
+            AdmissionPolicy::TailDrop,
+            AdmissionPolicy::HeadDrop,
+            AdmissionPolicy::ShedOldest { down_to: 4 },
+            AdmissionPolicy::WeightedFair,
+        ];
+        let cfg = SmpConfig {
+            duration_s,
+            placement_seed: seed,
+            admission: admissions[admission_idx],
+            buffer_cap: 64,
+            handoff_cap: 4,
+            flow_control: if stall {
+                HandoffFlowControl::StallProducer
+            } else {
+                HandoffFlowControl::SizeToFree
+            },
+            ..SmpConfig::new(cores, policies()[policy_idx], discipline)
+        };
+        let mut sim = SmpSim::new(&cfg);
+        // `run_closed` asserts the full transient-bucket conservation
+        // law (queued + parked + unacked) at every drain internally.
+        sim.run_closed(&mut pop, weights);
+        let out = sim.outcome(pop.channel_counters());
+        let r = &out.report;
+        let st = pop.stats();
+        prop_assert!(r.conservation_holds(), "conservation violated: {r:?}");
+        prop_assert_eq!(r.offered, st.offered, "every delivered copy is offered");
+        prop_assert_eq!(
+            r.offered,
+            r.completed + r.rejected + r.drops + r.shed + r.abandoned,
+            "a drained closed-loop run leaves nothing in flight"
+        );
+        prop_assert_eq!(r.completed, st.useful, "completions are exactly useful acks");
+        prop_assert!(st.useful <= st.requests, "acks never exceed requests");
+        prop_assert_eq!(r.net_duplicated, pop.channel_counters().duplicated);
+        prop_assert_eq!(r.net_corrupted, pop.channel_counters().corrupted);
+        if corrupt_pct == 0 {
+            prop_assert_eq!(r.rejected, 0, "clean runs reject nothing");
+        }
+        if budget_on {
+            prop_assert!(
+                st.useful + st.abandoned_requests <= st.requests,
+                "every request is acknowledged or abandoned at most once"
+            );
+        }
+        // Per-class accounting covers every shed/dropped packet.
+        let by_class: u64 = out.shed_by_class.iter().chain(&out.drops_by_class).sum();
+        prop_assert_eq!(by_class, r.shed + r.drops, "per-class loss tallies disagree");
     }
 }
