@@ -47,6 +47,7 @@ pub const REQUIRED_ROOTS: &[&str] = &[
     "simnet-measured-window",
     "smp-closed-loop",
     "signaling-call-path",
+    "workload-dispatch",
 ];
 
 /// Configuration for the graph rules, split out so tests and fixtures
@@ -85,7 +86,7 @@ impl Default for GraphConfig {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            path_markers: vec!["impair".to_string()],
+            path_markers: vec!["impair".to_string(), "stream".to_string()],
         }
     }
 }

@@ -22,7 +22,9 @@ use super::{RawFinding, RULE_NONDETERMINISM};
 use crate::source::{contains_word, FileRole, SourceFile};
 
 /// The crates whose outputs must replay byte-identically.
-pub const SIM_CRATES: &[&str] = &["simnet", "core", "cachesim", "netstack", "signaling", "obs", "smp"];
+pub const SIM_CRATES: &[&str] = &[
+    "simnet", "core", "cachesim", "netstack", "signaling", "obs", "smp", "workload",
+];
 
 /// Substring hazards (qualified paths and calls). Public so the
 /// clippy.toml sync test can assert this list is a superset of the

@@ -1,7 +1,7 @@
-//! R2 `rng-draw-budget` — every function in `simnet::impair` that
-//! consumes randomness must declare its per-call draw count with a
-//! `// draws: N` header comment, and N must equal the number of RNG
-//! call sites in the body.
+//! R2 `rng-draw-budget` — every function in `simnet::impair` and
+//! `workload::stream` that consumes randomness must declare its
+//! per-call draw count with a `// draws: N` header comment, and N must
+//! equal the number of RNG call sites in the body.
 //!
 //! The impairment channel's replayability contract is "a fixed number
 //! of RNG draws per packet, regardless of outcome" (PR 2): if a
@@ -29,12 +29,14 @@ const DRAW_CALLS: &[&str] = &[
     ".sample_from(",
 ];
 
-/// Runs R2 over one file (only `simnet`'s `impair` module is in scope).
+/// Runs R2 over one file. In scope: `simnet`'s `impair` module and
+/// `workload`'s `stream` module — the two fixed-draw-budget surfaces
+/// (the impairment channel and the mixed-stream generator).
 pub fn check(file: &SourceFile) -> Vec<RawFinding> {
-    if file.crate_dir != "simnet"
-        || file.role != FileRole::Lib
-        || !file.path.to_string_lossy().contains("impair")
-    {
+    let path = file.path.to_string_lossy();
+    let in_scope = (file.crate_dir == "simnet" && path.contains("impair"))
+        || (file.crate_dir == "workload" && path.contains("stream"));
+    if !in_scope || file.role != FileRole::Lib {
         return Vec::new();
     }
     let mut out = Vec::new();

@@ -28,6 +28,7 @@ fn main() {
         "figure9",
         "figure10",
         "figure13",
+        "figure14",
         "figure4_regimes",
         "signaling_goal",
         "trace_replay",

@@ -209,6 +209,34 @@ fn impairment_sweep_csv_is_thread_count_invariant() {
 }
 
 #[test]
+fn figure14_csv_is_thread_count_invariant() {
+    use bench::figure14::{figure14_rows, sweep, FIGURE14_HEADER};
+
+    // The smoke grid ({1, 4} cores × {conv, ldlp, aff}) drives the
+    // mixed five-class stream through per-class accounting — the
+    // machine-stats delta attribution and class-sample percentile
+    // paths, where worker scheduling could leak into results if the
+    // per-class tallies were not reduced in deterministic order.
+    let run = |threads| {
+        let opts = RunOpts {
+            smoke: true,
+            ..reduced_opts(threads)
+        };
+        csv_text(&FIGURE14_HEADER, &figure14_rows(&sweep(&opts)))
+    };
+    let serial = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(serial, two, "figure14 CSV differs between 1 and 2 threads");
+    assert_eq!(serial, eight, "figure14 CSV differs between 1 and 8 threads");
+    // Sanity: one row per (cell, class), and every class label shows up.
+    assert_eq!(serial.lines().count(), 2 * 3 * 5 + 1);
+    for label in ["sig", "rpc", "media", "dns", "agent"] {
+        assert!(serial.contains(&format!(",{label},")), "{label} rows present");
+    }
+}
+
+#[test]
 fn figure13_csv_is_thread_count_invariant() {
     use bench::figure13::{figure13_rows, sweep, FIGURE13_HEADER};
 

@@ -210,6 +210,13 @@ impl Recorder {
         self.values.get(usize::from(id))
     }
 
+    /// Value histogram looked up by name, for consumers (benches,
+    /// tests) that never held the interned id. `None` when the name
+    /// was never interned.
+    pub fn value_hist_named(&self, name: &str) -> Option<&Histogram> {
+        self.ids.get(name).and_then(|&id| self.value_hist(id))
+    }
+
     /// `(name, accum)` pairs in id (first-intern) order.
     pub fn iter_spans(&self) -> impl Iterator<Item = (&str, &SpanAccum)> {
         self.names

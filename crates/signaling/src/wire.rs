@@ -215,6 +215,16 @@ impl Message {
     /// Serializes the message.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes the message by appending to `out`, so callers that
+    /// frame signalling inside an outer envelope (e.g. the workload
+    /// generator's class frames) reuse one buffer instead of splicing
+    /// a fresh `Vec` per message.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let at = out.len();
         out.push(DISCRIMINATOR);
         // 3-byte call reference (masked to 24 bits, as in Q.2931).
         let cr = self.call_ref & 0x00ff_ffff;
@@ -225,13 +235,12 @@ impl Message {
             out.push(ie.id());
             let len_at = out.len();
             out.extend_from_slice(&[0, 0]);
-            ie.encode_value(&mut out);
+            ie.encode_value(out);
             let len = (out.len() - len_at - 2) as u16;
             out[len_at..len_at + 2].copy_from_slice(&len.to_be_bytes());
         }
-        let body = (out.len() - HEADER_LEN) as u16;
-        out[5..7].copy_from_slice(&body.to_be_bytes());
-        out
+        let body = (out.len() - at - HEADER_LEN) as u16;
+        out[at + 5..at + 7].copy_from_slice(&body.to_be_bytes());
     }
 
     /// Parses a message, validating structure and lengths.
@@ -313,6 +322,17 @@ mod tests {
             let decoded = Message::decode(&m.encode()).unwrap();
             assert_eq!(decoded, m);
         }
+    }
+
+    #[test]
+    fn encode_into_appends_identically_at_any_offset() {
+        let m = sample_setup(77);
+        let flat = m.encode();
+        let mut buf = vec![0xEE; 13];
+        m.encode_into(&mut buf);
+        assert_eq!(&buf[..13], &[0xEE; 13][..], "prefix untouched");
+        assert_eq!(&buf[13..], &flat[..], "appended bytes match encode()");
+        assert_eq!(Message::decode(&buf[13..]).unwrap(), m);
     }
 
     #[test]

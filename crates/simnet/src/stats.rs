@@ -239,6 +239,139 @@ impl SimReport {
     }
 }
 
+/// Per-traffic-class raw samples for one run: the conservation buckets
+/// plus the miss and latency observations, accumulated by the simulator
+/// while a mixed multi-class stream runs. Storage is reusable across
+/// runs ([`ClassSamples::clear`] keeps capacity) so the steady-state
+/// run loop stays allocation-free once warm.
+#[derive(Debug, Clone, Default)]
+pub struct ClassSamples {
+    /// Arrivals of this class presented to the NIC.
+    pub offered: u64,
+    /// Messages of this class fully processed and delivered.
+    pub completed: u64,
+    /// Messages of this class discarded at checksum verification.
+    pub rejected: u64,
+    /// Arrivals of this class refused admission.
+    pub drops: u64,
+    /// Queued packets of this class evicted by the admission policy.
+    pub shed: u64,
+    /// I-cache misses summed over processed (completed + rejected)
+    /// messages of this class.
+    pub imiss_sum: u64,
+    /// D-cache misses summed over processed messages of this class.
+    pub dmiss_sum: u64,
+    /// One latency sample per completed message, microseconds.
+    pub latencies_us: Vec<f64>,
+}
+
+impl ClassSamples {
+    /// Resets the counters and samples, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.offered = 0;
+        self.completed = 0;
+        self.rejected = 0;
+        self.drops = 0;
+        self.shed = 0;
+        self.imiss_sum = 0;
+        self.dmiss_sum = 0;
+        self.latencies_us.clear();
+    }
+
+    /// True iff every offered arrival of this class is accounted for on
+    /// a drained run: `offered == completed + rejected + drops + shed`.
+    pub fn conservation_holds(&self) -> bool {
+        self.offered == self.completed + self.rejected + self.drops + self.shed
+    }
+
+    /// Distills the samples into a [`ClassReport`], sorting the latency
+    /// samples in place. `slo_us` is the class's latency objective
+    /// (0 = none; attainment reports 1 then).
+    pub fn report(&mut self, slo_us: f64) -> ClassReport {
+        self.latencies_us.sort_by(|a, b| a.total_cmp(b));
+        let processed = (self.completed + self.rejected).max(1) as f64;
+        let within = if slo_us > 0.0 {
+            self.latencies_us.iter().filter(|&&l| l <= slo_us).count() as u64
+        } else {
+            self.completed
+        };
+        ClassReport {
+            offered: self.offered,
+            completed: self.completed,
+            rejected: self.rejected,
+            drops: self.drops,
+            shed: self.shed,
+            p50_latency_us: percentile(&self.latencies_us, 0.50),
+            p99_latency_us: percentile(&self.latencies_us, 0.99),
+            mean_imiss: self.imiss_sum as f64 / processed,
+            mean_dmiss: self.dmiss_sum as f64 / processed,
+            slo_us,
+            slo_attainment: within as f64 / self.completed.max(1) as f64,
+        }
+    }
+}
+
+/// Aggregated per-class results of one run (or a seed average): the
+/// per-class slice of the conservation law plus the latency tail, the
+/// per-message miss costs, and attainment against the class's latency
+/// SLO.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassReport {
+    /// Arrivals of this class presented to the NIC.
+    pub offered: u64,
+    /// Messages of this class fully processed and delivered.
+    pub completed: u64,
+    /// Messages of this class discarded at checksum verification.
+    pub rejected: u64,
+    /// Arrivals of this class refused admission.
+    pub drops: u64,
+    /// Queued packets of this class evicted by the admission policy.
+    pub shed: u64,
+    /// Median latency of completed messages, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile latency of completed messages, microseconds.
+    pub p99_latency_us: f64,
+    /// Mean I-cache misses per processed message of this class.
+    pub mean_imiss: f64,
+    /// Mean D-cache misses per processed message of this class.
+    pub mean_dmiss: f64,
+    /// The latency objective the class was held to (0 = none).
+    pub slo_us: f64,
+    /// Fraction of completed messages within `slo_us` (1 when no SLO;
+    /// 0 when nothing completed).
+    pub slo_attainment: f64,
+}
+
+impl ClassReport {
+    /// Averages several per-class reports (e.g. over seeds), weighting
+    /// each run equally. Counter fields become rounded per-run means,
+    /// mirroring [`SimReport::average`]. Returns `None` for an empty
+    /// slice.
+    pub fn average(reports: &[ClassReport]) -> Option<ClassReport> {
+        if reports.is_empty() {
+            return None;
+        }
+        let n = reports.len() as f64;
+        let sum = |f: fn(&ClassReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let sum_u = |f: fn(&ClassReport) -> u64| {
+            (reports.iter().map(f).sum::<u64>() as f64 / n).round() as u64
+        };
+        Some(ClassReport {
+            offered: sum_u(|r| r.offered),
+            completed: sum_u(|r| r.completed),
+            rejected: sum_u(|r| r.rejected),
+            drops: sum_u(|r| r.drops),
+            shed: sum_u(|r| r.shed),
+            p50_latency_us: sum(|r| r.p50_latency_us),
+            p99_latency_us: sum(|r| r.p99_latency_us),
+            mean_imiss: sum(|r| r.mean_imiss),
+            mean_dmiss: sum(|r| r.mean_dmiss),
+            slo_us: sum(|r| r.slo_us),
+            slo_attainment: sum(|r| r.slo_attainment),
+        })
+    }
+}
+
 /// Percentile of an ascending-sorted slice, `q` in [0, 1], with linear
 /// interpolation between ranks. (Nearest-rank rounding collapsed p99 to
 /// the maximum for fewer than ~67 samples — a short run's tail latency
@@ -530,6 +663,66 @@ mod tests {
         // The old all-zero report passed conservation_holds() and hid
         // zero-seed configuration bugs.
         assert!(SimReport::average(&[]).is_none());
+    }
+
+    #[test]
+    fn class_samples_report_and_conservation() {
+        let mut s = ClassSamples {
+            offered: 10,
+            completed: 6,
+            rejected: 1,
+            drops: 2,
+            shed: 1,
+            imiss_sum: 14,
+            dmiss_sum: 7,
+            latencies_us: vec![50.0, 10.0, 20.0, 30.0, 40.0, 60.0],
+        };
+        assert!(s.conservation_holds());
+        let r = s.report(45.0);
+        assert_eq!((r.offered, r.completed, r.rejected, r.drops, r.shed), (10, 6, 1, 2, 1));
+        assert_eq!(r.mean_imiss, 2.0, "misses averaged over processed");
+        assert_eq!(r.mean_dmiss, 1.0);
+        assert_eq!(r.p50_latency_us, 35.0);
+        // 4 of 6 completions landed within the 45 µs objective.
+        assert!((r.slo_attainment - 4.0 / 6.0).abs() < 1e-12);
+        s.offered += 1;
+        assert!(!s.conservation_holds(), "one arrival vanished");
+        s.clear();
+        assert!(s.latencies_us.is_empty() && s.offered == 0);
+        let empty = s.report(45.0);
+        assert_eq!(empty.slo_attainment, 0.0, "nothing completed, nothing attained");
+    }
+
+    #[test]
+    fn class_report_without_slo_is_vacuously_attained() {
+        let mut s = ClassSamples {
+            offered: 2,
+            completed: 2,
+            latencies_us: vec![1e9, 2e9],
+            ..ClassSamples::default()
+        };
+        assert_eq!(s.report(0.0).slo_attainment, 1.0);
+    }
+
+    #[test]
+    fn class_report_averaging_mirrors_sim_report() {
+        let a = ClassReport {
+            completed: 1,
+            p99_latency_us: 10.0,
+            slo_attainment: 1.0,
+            ..ClassReport::default()
+        };
+        let b = ClassReport {
+            completed: 2,
+            p99_latency_us: 30.0,
+            slo_attainment: 0.5,
+            ..ClassReport::default()
+        };
+        let avg = ClassReport::average(&[a, b]).expect("non-empty");
+        assert_eq!(avg.completed, 2, "3/2 rounds to 2");
+        assert_eq!(avg.p99_latency_us, 20.0);
+        assert_eq!(avg.slo_attainment, 0.75);
+        assert!(ClassReport::average(&[]).is_none());
     }
 
     fn count_series(arrivals: &[crate::traffic::Arrival], bin_s: f64, duration: f64) -> Vec<f64> {

@@ -30,5 +30,8 @@ mod ring;
 pub mod sim;
 pub mod steer;
 
-pub use sim::{run_smp, run_smp_impaired, CoreReport, HandoffFlowControl, SmpConfig, SmpOutcome, SmpSim};
+pub use sim::{
+    run_smp, run_smp_impaired, CoreReport, HandoffFlowControl, SmpConfig, SmpOutcome, SmpSim,
+    WClassProfile, MAX_WCLASS,
+};
 pub use steer::{tag_flows, tag_impaired, DispatchPolicy, FlowArrival, FlowKey, Steerer};

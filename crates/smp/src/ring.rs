@@ -27,6 +27,7 @@ pub(crate) struct Desc {
     pub msg: SimMessage,
     pub arr: u64,
     pub flow_id: u32,
+    pub wclass: u8,
     pub imiss: u64,
     pub dmiss: u64,
 }
@@ -54,6 +55,7 @@ pub(crate) struct DescRing {
     corrupted: Box<[bool]>,
     // Owner + accumulated-cost columns.
     flow: Box<[u32]>,
+    wclass: Box<[u8]>,
     imiss: Box<[u64]>,
     dmiss: Box<[u64]>,
 }
@@ -76,6 +78,7 @@ impl DescRing {
             buf_len: vec![0; cap].into_boxed_slice(),
             corrupted: vec![false; cap].into_boxed_slice(),
             flow: vec![0; cap].into_boxed_slice(),
+            wclass: vec![0; cap].into_boxed_slice(),
             imiss: vec![0; cap].into_boxed_slice(),
             dmiss: vec![0; cap].into_boxed_slice(),
         }
@@ -149,12 +152,14 @@ impl DescRing {
     /// Parks a descriptor, visible downstream from cycle `ready`.
     /// Returns `false` (writing nothing) when the ring is full; callers
     /// size batches by [`DescRing::free`] first.
+    #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,
         ready: u64,
         msg: &SimMessage,
         arr: u64,
         flow_id: u32,
+        wclass: u8,
         imiss: u64,
         dmiss: u64,
     ) -> bool {
@@ -177,6 +182,7 @@ impl DescRing {
             Some(blen),
             Some(cor),
             Some(fl),
+            Some(wc),
             Some(im),
             Some(dm),
         ) = (
@@ -187,6 +193,7 @@ impl DescRing {
             self.buf_len.get_mut(s),
             self.corrupted.get_mut(s),
             self.flow.get_mut(s),
+            self.wclass.get_mut(s),
             self.imiss.get_mut(s),
             self.dmiss.get_mut(s),
         ) {
@@ -197,6 +204,7 @@ impl DescRing {
             *blen = msg.buf.len;
             *cor = msg.corrupted;
             *fl = flow_id;
+            *wc = wclass;
             *im = imiss;
             *dm = dmiss;
         }
@@ -225,6 +233,7 @@ impl DescRing {
             },
             arr,
             flow_id: self.flow.get(s).copied()?,
+            wclass: self.wclass.get(s).copied()?,
             imiss: self.imiss.get(s).copied()?,
             dmiss: self.dmiss.get(s).copied()?,
         };
@@ -252,9 +261,9 @@ mod tests {
     fn fifo_with_ready_times() {
         let mut q = DescRing::new(4);
         assert!(q.is_empty());
-        assert!(q.push(10, &msg(1, 0x100, 552, false), 5, 7, 2, 3));
-        assert!(q.push(10, &msg(2, 0x200, 40, true), 6, 8, 0, 0));
-        assert!(q.push(25, &msg(3, 0x300, 1500, false), 7, 9, 1, 1));
+        assert!(q.push(10, &msg(1, 0x100, 552, false), 5, 7, 2, 2, 3));
+        assert!(q.push(10, &msg(2, 0x200, 40, true), 6, 8, 0, 0, 0));
+        assert!(q.push(25, &msg(3, 0x300, 1500, false), 7, 9, 1, 1, 1));
         assert_eq!(q.len(), 3);
         assert_eq!(q.next_ready(), Some(10));
         assert_eq!(q.takeable(9), (0, 0));
@@ -263,6 +272,7 @@ mod tests {
         assert!(q.pop(9).is_none(), "not visible yet");
         let a = q.pop(10).unwrap();
         assert_eq!((a.msg.id, a.arr, a.flow_id, a.imiss, a.dmiss), (1, 5, 7, 2, 3));
+        assert_eq!(a.wclass, 2, "class tag survives the hand-off");
         assert_eq!((a.msg.buf.base, a.msg.buf.len), (0x100, 552));
         assert_eq!(a.msg.arrival_cycles, 5, "arrival rides the arr column");
         let b = q.pop(10).unwrap();
@@ -276,10 +286,10 @@ mod tests {
     fn boundedness_refuses_when_full() {
         let mut q = DescRing::new(2);
         let m = msg(1, 0, 64, false);
-        assert!(q.push(1, &m, 1, 0, 0, 0));
-        assert!(q.push(1, &m, 1, 0, 0, 0));
+        assert!(q.push(1, &m, 1, 0, 0, 0, 0));
+        assert!(q.push(1, &m, 1, 0, 0, 0, 0));
         assert_eq!(q.free(), 0);
-        assert!(!q.push(1, &m, 1, 0, 0, 0), "full ring must refuse");
+        assert!(!q.push(1, &m, 1, 0, 0, 0, 0), "full ring must refuse");
         assert_eq!(q.len(), 2);
         assert_eq!(q.pushed(), 2, "refused push must not bump the sequence");
     }
@@ -288,7 +298,7 @@ mod tests {
     fn slots_wrap_and_sequence_numbers_advance() {
         let mut q = DescRing::new(3);
         for round in 0..10u64 {
-            assert!(q.push(round, &msg(round, round * 64, 64, false), round, 0, 0, 0));
+            assert!(q.push(round, &msg(round, round * 64, 64, false), round, 0, 0, 0, 0));
             let d = q.pop(round).unwrap();
             assert_eq!(d.msg.id, round);
             assert_eq!(d.msg.buf.base, round * 64);

@@ -127,6 +127,10 @@ pub struct FlowArrival {
     pub flow_id: u32,
     /// The flow's 5-tuple.
     pub key: FlowKey,
+    /// Workload message class (0 = untagged legacy traffic; nonzero
+    /// indices are defined by `crates/workload`). Rides through the
+    /// pipeline so per-class accounting can attribute completions.
+    pub wclass: u8,
 }
 
 /// Tags each arrival with a flow drawn uniformly from a population of
@@ -153,6 +157,7 @@ pub fn tag_impaired(deliveries: &[ImpairedArrival], flows: u32, seed: u64) -> Ve
                 corrupted: d.corrupted,
                 flow_id,
                 key: FlowKey::synth(flow_id, seed),
+                wclass: 0,
             }
         })
         .collect()

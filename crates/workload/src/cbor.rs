@@ -1,0 +1,311 @@
+//! A deterministic CBOR (RFC 8949) subset codec.
+//!
+//! Agent messaging frames its envelopes as CBOR so new fields can ship
+//! without a wire-version dance — the schema evolution story the fixed
+//! binary framing of `crate::frame` deliberately lacks. This codec
+//! implements exactly the subset the agent protocol uses:
+//!
+//! * unsigned and negative integers (major types 0/1),
+//! * byte and text strings (2/3, definite length only),
+//! * arrays and maps (4/5, definite length only),
+//! * `false`/`true`/`null` (major type 7).
+//!
+//! Encoding is canonical: shortest-form length encodings, map entries
+//! emitted in the order given. Decoding is strict — indefinite
+//! lengths, unknown simple values, tags, floats, non-UTF-8 text,
+//! trailing bytes, and nesting deeper than [`MAX_DEPTH`] are all
+//! errors, never panics. Strictness is what lets the impairment path
+//! feed damaged buffers straight into [`decode`] in the property
+//! tests.
+
+/// Deepest container nesting accepted (the agent protocol needs 3).
+pub const MAX_DEPTH: usize = 8;
+
+/// A CBOR data item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Major type 0.
+    U64(u64),
+    /// Major type 1, holding the *encoded* value `-1 - n`.
+    Neg(u64),
+    /// Major type 2 (definite length).
+    Bytes(Vec<u8>),
+    /// Major type 3 (definite length, valid UTF-8).
+    Text(String),
+    /// Major type 4 (definite length).
+    Array(Vec<Value>),
+    /// Major type 5 (definite length, order-preserving).
+    Map(Vec<(Value, Value)>),
+    /// Simple value 20/21.
+    Bool(bool),
+    /// Simple value 22.
+    Null,
+}
+
+/// Why a buffer failed to parse as CBOR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CborError {
+    /// Ran out of bytes mid-item.
+    Truncated,
+    /// Bytes remain after the root item.
+    Trailing,
+    /// Indefinite length, tag, float, or reserved additional info.
+    Unsupported(u8),
+    /// Text string that is not UTF-8.
+    BadUtf8,
+    /// Containers nested past [`MAX_DEPTH`].
+    TooDeep,
+    /// A declared length exceeding the remaining buffer.
+    Length,
+}
+
+/// Appends the canonical encoding of `v` to `out`.
+pub fn encode_into(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::U64(n) => head(0, *n, out),
+        Value::Neg(n) => head(1, *n, out),
+        Value::Bytes(b) => {
+            head(2, b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::Text(s) => {
+            head(3, s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            head(4, items.len() as u64, out);
+            for it in items {
+                encode_into(it, out);
+            }
+        }
+        Value::Map(entries) => {
+            head(5, entries.len() as u64, out);
+            for (k, val) in entries {
+                encode_into(k, out);
+                encode_into(val, out);
+            }
+        }
+        Value::Bool(false) => out.push(0xf4),
+        Value::Bool(true) => out.push(0xf5),
+        Value::Null => out.push(0xf6),
+    }
+}
+
+/// Encodes into a fresh buffer.
+pub fn encode(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(v, &mut out);
+    out
+}
+
+/// Parses exactly one item covering the whole buffer.
+pub fn decode(buf: &[u8]) -> Result<Value, CborError> {
+    let (v, used) = decode_prefix(buf, 0)?;
+    if used != buf.len() {
+        return Err(CborError::Trailing);
+    }
+    Ok(v)
+}
+
+/// Shortest-form head: major type in the top 3 bits, argument below.
+fn head(major: u8, arg: u64, out: &mut Vec<u8>) {
+    let mt = major << 5;
+    if arg < 24 {
+        out.push(mt | arg as u8);
+    } else if arg <= 0xff {
+        out.push(mt | 24);
+        out.push(arg as u8);
+    } else if arg <= 0xffff {
+        out.push(mt | 25);
+        out.extend_from_slice(&(arg as u16).to_be_bytes());
+    } else if arg <= 0xffff_ffff {
+        out.push(mt | 26);
+        out.extend_from_slice(&(arg as u32).to_be_bytes());
+    } else {
+        out.push(mt | 27);
+        out.extend_from_slice(&arg.to_be_bytes());
+    }
+}
+
+/// Parses the head at `buf[at..]`: `(major, argument, bytes consumed)`.
+/// Exposed to `crate::agent` so the dispatch fast path can peek at an
+/// envelope's leading fields without materializing the document. Kept
+/// free of slice indexing: it runs under the `workload-dispatch`
+/// hot-path root.
+pub(crate) fn parse_head(buf: &[u8], at: usize) -> Result<(u8, u64, usize), CborError> {
+    let ib = *buf.get(at).ok_or(CborError::Truncated)?;
+    let major = ib >> 5;
+    let info = ib & 0x1f;
+    let wide = |n: usize| -> Result<u64, CborError> {
+        let mut arg = 0u64;
+        for off in 1..=n {
+            let b = *buf
+                .get(at.checked_add(off).ok_or(CborError::Truncated)?)
+                .ok_or(CborError::Truncated)?;
+            arg = (arg << 8) | u64::from(b);
+        }
+        Ok(arg)
+    };
+    let (arg, extra) = match info {
+        0..=23 => (u64::from(info), 0usize),
+        24 => (wide(1)?, 1),
+        25 => (wide(2)?, 2),
+        26 => (wide(4)?, 4),
+        27 => (wide(8)?, 8),
+        _ => return Err(CborError::Unsupported(ib)),
+    };
+    Ok((major, arg, 1 + extra))
+}
+
+/// Parses one item at the front of `buf`, returning it and the bytes
+/// consumed. `depth` guards container recursion.
+fn decode_prefix(buf: &[u8], depth: usize) -> Result<(Value, usize), CborError> {
+    if depth > MAX_DEPTH {
+        return Err(CborError::TooDeep);
+    }
+    let (major, arg, mut used) = parse_head(buf, 0)?;
+    let v = match major {
+        0 => Value::U64(arg),
+        1 => Value::Neg(arg),
+        2 | 3 => {
+            let len = usize::try_from(arg).map_err(|_| CborError::Length)?;
+            let body = buf
+                .get(used..used.checked_add(len).ok_or(CborError::Length)?)
+                .ok_or(CborError::Length)?;
+            used += len;
+            if major == 2 {
+                Value::Bytes(body.to_vec())
+            } else {
+                let s = std::str::from_utf8(body).map_err(|_| CborError::BadUtf8)?;
+                Value::Text(s.to_string())
+            }
+        }
+        4 | 5 => {
+            // A container cannot hold more items than bytes remain;
+            // bounding up front keeps hostile lengths from reserving.
+            let len = usize::try_from(arg).map_err(|_| CborError::Length)?;
+            if len > buf.len().saturating_sub(used) {
+                return Err(CborError::Length);
+            }
+            if major == 4 {
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let rest = buf.get(used..).ok_or(CborError::Truncated)?;
+                    let (it, n) = decode_prefix(rest, depth + 1)?;
+                    items.push(it);
+                    used += n;
+                }
+                Value::Array(items)
+            } else {
+                let mut entries = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let rest = buf.get(used..).ok_or(CborError::Truncated)?;
+                    let (k, n) = decode_prefix(rest, depth + 1)?;
+                    used += n;
+                    let rest = buf.get(used..).ok_or(CborError::Truncated)?;
+                    let (val, n) = decode_prefix(rest, depth + 1)?;
+                    used += n;
+                    entries.push((k, val));
+                }
+                Value::Map(entries)
+            }
+        }
+        7 => match (buf.first().copied().unwrap_or(0), arg) {
+            (0xf4, _) => Value::Bool(false),
+            (0xf5, _) => Value::Bool(true),
+            (0xf6, _) => Value::Null,
+            (ib, _) => return Err(CborError::Unsupported(ib)),
+        },
+        _ => return Err(CborError::Unsupported(buf.first().copied().unwrap_or(0))),
+    };
+    Ok((v, used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(v: Value) {
+        let bytes = encode(&v);
+        assert_eq!(decode(&bytes), Ok(v), "bytes: {bytes:x?}");
+    }
+
+    #[test]
+    fn scalars_round_trip_at_every_head_width() {
+        for n in [0u64, 23, 24, 255, 256, 65_535, 65_536, u64::from(u32::MAX), u64::MAX] {
+            rt(Value::U64(n));
+            rt(Value::Neg(n));
+        }
+        rt(Value::Bool(true));
+        rt(Value::Bool(false));
+        rt(Value::Null);
+    }
+
+    #[test]
+    fn rfc_8949_appendix_a_vectors() {
+        assert_eq!(encode(&Value::U64(0)), [0x00]);
+        assert_eq!(encode(&Value::U64(10)), [0x0a]);
+        assert_eq!(encode(&Value::U64(100)), [0x18, 0x64]);
+        assert_eq!(encode(&Value::U64(1000)), [0x19, 0x03, 0xe8]);
+        assert_eq!(encode(&Value::Neg(9)), [0x29]); // -10
+        assert_eq!(encode(&Value::Text("IETF".into())), [0x64, 0x49, 0x45, 0x54, 0x46]);
+        assert_eq!(
+            encode(&Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])),
+            [0x83, 0x01, 0x02, 0x03]
+        );
+        assert_eq!(decode(&[0xf6]), Ok(Value::Null));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        rt(Value::Array(vec![
+            Value::U64(1),
+            Value::Text("two".into()),
+            Value::Bytes(vec![3, 3, 3]),
+        ]));
+        rt(Value::Map(vec![
+            (Value::U64(0), Value::Text("hello".into())),
+            (Value::U64(1), Value::Array(vec![Value::Null])),
+        ]));
+    }
+
+    #[test]
+    fn map_order_is_preserved_not_sorted() {
+        let m = Value::Map(vec![
+            (Value::U64(9), Value::Null),
+            (Value::U64(1), Value::Null),
+        ]);
+        let d = decode(&encode(&m)).unwrap();
+        assert_eq!(d, m, "entry order survives the trip");
+    }
+
+    #[test]
+    fn strict_rejects() {
+        assert_eq!(decode(&[]), Err(CborError::Truncated));
+        assert_eq!(decode(&[0x18]), Err(CborError::Truncated), "head wants a byte");
+        assert_eq!(decode(&[0x5f]), Err(CborError::Unsupported(0x5f)), "indefinite bytes");
+        assert_eq!(decode(&[0xc0, 0x00]), Err(CborError::Unsupported(0xc0)), "tag");
+        assert_eq!(decode(&[0xfb; 9]), Err(CborError::Unsupported(0xfb)), "float64");
+        assert_eq!(decode(&[0x00, 0x00]), Err(CborError::Trailing));
+        assert_eq!(decode(&[0x62, 0xff, 0xfe]), Err(CborError::BadUtf8));
+        assert_eq!(decode(&[0x5a, 0xff, 0xff, 0xff, 0xff]), Err(CborError::Length));
+        // 9 nested single-item arrays: one past MAX_DEPTH.
+        let mut deep = vec![0x81u8; MAX_DEPTH + 1];
+        deep.push(0x00);
+        assert_eq!(decode(&deep), Err(CborError::TooDeep));
+        // Array claiming more items than bytes remain.
+        assert_eq!(decode(&[0x99, 0xff, 0xff]), Err(CborError::Length));
+    }
+
+    #[test]
+    fn every_strict_prefix_of_an_encoding_is_rejected() {
+        let v = Value::Map(vec![
+            (Value::U64(0), Value::Bytes((0..40).collect())),
+            (Value::Text("k".into()), Value::Array(vec![Value::U64(7); 5])),
+        ]);
+        let bytes = encode(&v);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Versioned binary class framing.
+//!
+//! The controller-style classes (client signalling, service RPC, media
+//! control) share one outer envelope so the demultiplexer can route on
+//! a fixed-offset header without touching the payload — the property
+//! every small-message fast path is built on. Two wire versions
+//! coexist, as they would mid-rollout in a real fleet:
+//!
+//! * **v1** — 10-byte header: magic, version, class id, flags, 4-byte
+//!   sequence number, 2-byte payload length.
+//! * **v2** — adds a 4-byte session id to the header (14 bytes) and a
+//!   16-bit end-to-end checksum trailer after the payload, so payload
+//!   damage from the impairment channel is caught at the frame layer
+//!   instead of corrupting class state.
+//!
+//! Decoding is strict: unknown magic, version, or class, short
+//! buffers, length mismatches, and checksum failures are all distinct
+//! [`FrameError`]s (the property tests drive corrupted buffers from
+//! the impairment path through here and assert rejection, never a
+//! panic). The DNS and agent classes do not use this envelope — DNS
+//! rides its own query format and agents speak CBOR (`crate::agent`).
+
+use crate::class::WireClass;
+
+/// First byte of every class frame.
+pub const MAGIC: u8 = 0xD7;
+/// v1 header bytes: magic, version, class, flags, seq, len.
+pub const V1_HEADER_LEN: usize = 10;
+/// v2 header bytes: v1 fields plus a 4-byte session id.
+pub const V2_HEADER_LEN: usize = 14;
+/// v2 trailer bytes (checksum).
+pub const V2_TRAILER_LEN: usize = 2;
+/// Largest payload a frame may carry.
+pub const MAX_PAYLOAD: usize = u16::MAX as usize;
+
+/// Wire format revision of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameVersion {
+    /// Original header-only format.
+    V1 = 1,
+    /// Session id in the header, checksum trailer after the payload.
+    V2 = 2,
+}
+
+impl FrameVersion {
+    fn from_byte(b: u8) -> Option<FrameVersion> {
+        match b {
+            1 => Some(FrameVersion::V1),
+            2 => Some(FrameVersion::V2),
+            _ => None,
+        }
+    }
+}
+
+/// Why a buffer failed to parse as a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than the fixed header (or declared payload).
+    Truncated,
+    /// First byte is not [`MAGIC`].
+    BadMagic(u8),
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Class id outside the framed classes.
+    BadClass(u8),
+    /// Buffer length disagrees with the declared payload length.
+    LengthMismatch,
+    /// v2 trailer checksum does not match the payload.
+    BadChecksum,
+}
+
+/// A parsed (or to-be-encoded) class frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Wire revision.
+    pub version: FrameVersion,
+    /// Which class the payload belongs to.
+    pub class: WireClass,
+    /// Application flags, carried opaquely.
+    pub flags: u8,
+    /// Per-sender sequence number.
+    pub seq: u32,
+    /// Session id (v2 only; encoded as 0 and ignored on v1).
+    pub session: u32,
+    /// The class payload.
+    pub payload: Vec<u8>,
+}
+
+/// Internet-style ones'-complement-ish 16-bit sum, folded once. Cheap,
+/// deterministic, and order-sensitive enough to catch single-byte
+/// damage from the impairment channel.
+pub fn checksum16(bytes: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    for chunk in bytes.chunks(2) {
+        let hi = u32::from(chunk.first().copied().unwrap_or(0));
+        let lo = u32::from(chunk.get(1).copied().unwrap_or(0));
+        sum = sum.wrapping_add((hi << 8) | lo);
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Frame {
+    /// A v2 frame (the current wire revision) for `class`.
+    pub fn v2(class: WireClass, seq: u32, session: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: FrameVersion::V2,
+            class,
+            flags: 0,
+            seq,
+            session,
+            payload,
+        }
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self.version {
+            FrameVersion::V1 => V1_HEADER_LEN + self.payload.len(),
+            FrameVersion::V2 => V2_HEADER_LEN + self.payload.len() + V2_TRAILER_LEN,
+        }
+    }
+
+    /// Serializes by appending to `out` (same contract as
+    /// [`signaling::wire::Message::encode_into`]: callers batch many
+    /// messages into one buffer).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.payload.len() <= MAX_PAYLOAD);
+        out.push(MAGIC);
+        out.push(self.version as u8);
+        out.push(self.class.id());
+        out.push(self.flags);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        if self.version == FrameVersion::V2 {
+            out.extend_from_slice(&self.session.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        if self.version == FrameVersion::V2 {
+            out.extend_from_slice(&checksum16(&self.payload).to_be_bytes());
+        }
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Parses a frame, consuming the whole buffer (trailing bytes are a
+    /// [`FrameError::LengthMismatch`] — datagram framing, not a stream).
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        let magic = *buf.first().ok_or(FrameError::Truncated)?;
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let vbyte = *buf.get(1).ok_or(FrameError::Truncated)?;
+        let version = FrameVersion::from_byte(vbyte).ok_or(FrameError::BadVersion(vbyte))?;
+        let cbyte = *buf.get(2).ok_or(FrameError::Truncated)?;
+        let class = match WireClass::from_id(cbyte) {
+            Some(c @ (WireClass::ClientSignal | WireClass::SvcRpc | WireClass::MediaCtl)) => c,
+            _ => return Err(FrameError::BadClass(cbyte)),
+        };
+        let flags = *buf.get(3).ok_or(FrameError::Truncated)?;
+        let seq = be32(buf, 4).ok_or(FrameError::Truncated)?;
+        let (session, len_at) = match version {
+            FrameVersion::V1 => (0, 8),
+            FrameVersion::V2 => (be32(buf, 8).ok_or(FrameError::Truncated)?, 12),
+        };
+        let plen = usize::from(be16(buf, len_at).ok_or(FrameError::Truncated)?);
+        let body_at = len_at + 2;
+        let trailer = match version {
+            FrameVersion::V1 => 0,
+            FrameVersion::V2 => V2_TRAILER_LEN,
+        };
+        if buf.len() < body_at + plen + trailer {
+            return Err(FrameError::Truncated);
+        }
+        if buf.len() != body_at + plen + trailer {
+            return Err(FrameError::LengthMismatch);
+        }
+        let payload = buf
+            .get(body_at..body_at + plen)
+            .ok_or(FrameError::Truncated)?;
+        if version == FrameVersion::V2 {
+            let want = be16(buf, body_at + plen).ok_or(FrameError::Truncated)?;
+            if want != checksum16(payload) {
+                return Err(FrameError::BadChecksum);
+            }
+        }
+        Ok(Frame {
+            version,
+            class,
+            flags,
+            seq,
+            session,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+fn be16(buf: &[u8], at: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([
+        *buf.get(at)?,
+        *buf.get(at.checked_add(1)?)?,
+    ]))
+}
+
+fn be32(buf: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_be_bytes([
+        *buf.get(at)?,
+        *buf.get(at.checked_add(1)?)?,
+        *buf.get(at.checked_add(2)?)?,
+        *buf.get(at.checked_add(3)?)?,
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_and_v2_round_trip() {
+        for (version, session) in [(FrameVersion::V1, 0u32), (FrameVersion::V2, 0xdead_beef)] {
+            let f = Frame {
+                version,
+                class: WireClass::MediaCtl,
+                flags: 0x80,
+                seq: 123_456,
+                session,
+                payload: b"mute:room-7".to_vec(),
+            };
+            let bytes = f.encode();
+            assert_eq!(bytes.len(), f.encoded_len());
+            assert_eq!(Frame::decode(&bytes), Ok(f));
+        }
+    }
+
+    #[test]
+    fn signaling_rides_inside_a_v2_frame() {
+        let mut payload = Vec::new();
+        signaling::wire::sample_setup(9).encode_into(&mut payload);
+        let f = Frame::v2(WireClass::ClientSignal, 1, 42, payload.clone());
+        let d = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(d.payload, payload);
+        let inner = signaling::wire::Message::decode(&d.payload).unwrap();
+        assert_eq!(inner.call_ref, 9);
+    }
+
+    #[test]
+    fn rejects_are_specific() {
+        let good = Frame::v2(WireClass::SvcRpc, 7, 1, vec![1, 2, 3]).encode();
+        assert_eq!(Frame::decode(&[]), Err(FrameError::Truncated));
+        let mut b = good.clone();
+        b[0] = 0x55;
+        assert_eq!(Frame::decode(&b), Err(FrameError::BadMagic(0x55)));
+        let mut b = good.clone();
+        b[1] = 9;
+        assert_eq!(Frame::decode(&b), Err(FrameError::BadVersion(9)));
+        let mut b = good.clone();
+        b[2] = 5; // Agent is CBOR-framed, not envelope-framed
+        assert_eq!(Frame::decode(&b), Err(FrameError::BadClass(5)));
+        let mut b = good.clone();
+        b.truncate(b.len() - 1);
+        assert_eq!(Frame::decode(&b), Err(FrameError::Truncated));
+        let mut b = good.clone();
+        b.push(0);
+        assert_eq!(Frame::decode(&b), Err(FrameError::LengthMismatch));
+        let mut b = good.clone();
+        let at = V2_HEADER_LEN; // first payload byte
+        b[at] ^= 0xff;
+        assert_eq!(Frame::decode(&b), Err(FrameError::BadChecksum));
+        assert_eq!(Frame::decode(&good).map(|f| f.seq), Ok(7));
+    }
+
+    #[test]
+    fn v1_has_no_checksum_so_payload_damage_passes_the_frame_layer() {
+        // The rollout motivation for v2, stated as a test: v1 cannot
+        // catch payload damage, v2 always does.
+        let mut f = Frame::v2(WireClass::SvcRpc, 1, 0, vec![0xAA; 32]);
+        f.version = FrameVersion::V1;
+        let mut v1 = f.encode();
+        v1[V1_HEADER_LEN] ^= 0x01;
+        assert!(Frame::decode(&v1).is_ok(), "v1 is blind to payload damage");
+    }
+
+    #[test]
+    fn checksum_catches_any_single_byte_flip() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        let sum = checksum16(&payload);
+        for i in 0..payload.len() {
+            for bit in 0..8 {
+                let mut p = payload.clone();
+                p[i] ^= 1 << bit;
+                assert_ne!(checksum16(&p), sum, "flip at {i}.{bit} slipped through");
+            }
+        }
+    }
+}
